@@ -1,0 +1,40 @@
+"""Ablations of CIP's design choices (DESIGN.md section 5).
+
+* dual vs single channel (utility of the second blend component);
+* lambda_m (utility vs inverse-MI exposure trade-off);
+* personalized vs shared perturbation (the non-i.i.d. utility mechanism).
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_dual_channel(benchmark, profile):
+    result = run_and_report(benchmark, "ablation_dual_channel", profile)
+    rows = {row["variant"]: row for row in result.rows}
+    assert set(rows) == {"dual_channel", "single_channel"}
+    # Both variants keep the attack well below the undefended level (~0.85);
+    # at reproduction scale the single-channel variant is competitive on
+    # utility (a measured deviation from the Fig. 3 rationale — see
+    # EXPERIMENTS.md), so the assertion covers the privacy axis only.
+    for row in rows.values():
+        assert row["malt_attack_acc"] < 0.75
+        assert 0.0 <= row["test_acc"] <= 1.0
+
+
+def test_ablation_lambda_m(benchmark, profile):
+    result = run_and_report(benchmark, "ablation_lambda_m", profile)
+    by_lambda = {row["lambda_m"]: row for row in result.rows}
+    # a huge lambda_m costs utility relative to the paper's tiny value
+    assert by_lambda["1e-01"]["test_acc"] <= by_lambda["1e-06"]["test_acc"] + 0.05
+    for row in result.rows:
+        assert 0.0 <= row["inverse_mi_acc"] <= 1.0
+
+
+def test_ablation_shared_t(benchmark, profile):
+    result = run_and_report(benchmark, "ablation_shared_t", profile)
+    accs = {row["variant"]: row["mean_client_test_acc"] for row in result.rows}
+    assert set(accs) == {"personalized_t", "shared_frozen_t"}
+    # Both federations learn something; the personalized-vs-shared gap is
+    # reported for inspection (it needs paper-scale training to stabilize).
+    for value in accs.values():
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,17 @@
+"""[Figure 1] Member vs non-member loss distributions, before/after CIP.
+
+Paper: members and non-members are trivially separable on the original
+model; CIP shifts the distributions to overlap.  Shape checks: the
+separability gap shrinks and the distribution overlap grows under CIP.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig1_loss_distributions(benchmark, profile):
+    result = run_and_report(benchmark, "fig1", profile)
+    by_model = {row["model"]: row for row in result.rows}
+    original = by_model["original"]
+    shifted = by_model["cip_shifted"]
+    assert shifted["separability_gap"] < original["separability_gap"]
+    assert shifted["overlap_coefficient"] > original["overlap_coefficient"]

@@ -1,0 +1,29 @@
+"""[Figure 4] CIP vs DP vs HDP vs no defense across federation sizes.
+
+Paper: CIP's test accuracy tracks (or beats) no-defense at every client
+count while its internal attack accuracy sits at random guessing; DP's
+accuracy collapses as clients grow.  Shape checks: CIP's mean accuracy beats
+DP's, and CIP's attacks are weaker than no-defense's.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig4_clients_sweep(benchmark, profile):
+    result = run_and_report(benchmark, "fig4", profile)
+    by_defense = {}
+    for row in result.rows:
+        by_defense.setdefault(row["defense"], []).append(row)
+    assert set(by_defense) == {"none", "cip", "dp", "hdp"}
+
+    mean_acc = {d: np.mean([r["test_acc"] for r in rows]) for d, rows in by_defense.items()}
+    # utility: CIP >> DP (the paper's central internal-adversary claim)
+    assert mean_acc["cip"] > mean_acc["dp"]
+
+    # privacy: CIP's passive attack accuracy below the undefended one
+    mean_passive = {
+        d: np.mean([r["passive_attack_acc"] for r in rows]) for d, rows in by_defense.items()
+    }
+    assert mean_passive["cip"] <= mean_passive["none"] + 0.05

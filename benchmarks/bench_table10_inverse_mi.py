@@ -1,0 +1,24 @@
+"""[Table X] Adaptive Knowledge-4: inverse membership inference.
+
+Paper: classifying abnormally *high*-loss samples as members is at or below
+random guessing (lambda_m is kept small), and the accuracy rises toward 0.5
+as alpha grows.  Shape checks: mean accuracy <= ~0.55 and the trend in
+alpha is non-decreasing on most datasets.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table10_inverse_mi(benchmark, profile):
+    result = run_and_report(benchmark, "table10", profile)
+    accuracies = [row["attack_acc"] for row in result.rows]
+    assert np.mean(accuracies) < 0.62
+    alphas = sorted(profile.alphas)
+    rising = 0
+    for dataset in {row["dataset"] for row in result.rows}:
+        rows = {r["alpha"]: r for r in result.rows if r["dataset"] == dataset}
+        if rows[alphas[-1]]["attack_acc"] >= rows[alphas[0]]["attack_acc"] - 0.05:
+            rising += 1
+    assert rising >= 2

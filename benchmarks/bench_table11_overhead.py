@@ -1,0 +1,28 @@
+"""[Table XI] Overhead: parameter count and epochs to converge.
+
+Paper: CIP adds +0.87% parameters on average (only the widened dense head —
+the dual channels share one backbone) and *halves* the epochs to converge.
+Shape checks: parameter overhead below a few percent for every
+architecture, and CIP's epochs-to-converge does not exceed the legacy
+model's by more than a small factor.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table11_overhead(benchmark, profile):
+    result = run_and_report(benchmark, "table11", profile)
+    assert {row["model"] for row in result.rows} == {"resnet", "densenet", "vgg"}
+    for row in result.rows:
+        assert 0.0 < row["param_overhead_pct"] < 10.0
+        assert row["params_cip"] > row["params_no_defense"]
+    # convergence: CIP is comparable or faster (paper: 2x faster)
+    numeric = [
+        row
+        for row in result.rows
+        if isinstance(row["epochs_cip"], int) and isinstance(row["epochs_no_defense"], int)
+    ]
+    if numeric:
+        mean_cip = sum(r["epochs_cip"] for r in numeric) / len(numeric)
+        mean_legacy = sum(r["epochs_no_defense"] for r in numeric) / len(numeric)
+        assert mean_cip <= 2.0 * mean_legacy

@@ -1,0 +1,17 @@
+"""[Table I] Internal-adversary setup: legacy federated model accuracies.
+
+Paper: ResNet/DenseNet/VGG federations across client counts, with training
+accuracy far above testing accuracy (the overfit regime MI attacks need).
+Shape check: train accuracy exceeds test accuracy for every configuration.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table1_internal_setup(benchmark, profile):
+    result = run_and_report(benchmark, "table1", profile)
+    assert len(result.rows) == 3 * len(profile.client_counts)
+    for row in result.rows:
+        assert row["train_acc"] >= row["test_acc"] - 0.05
+    # every architecture appears
+    assert {row["model"] for row in result.rows} == {"resnet", "densenet", "vgg"}

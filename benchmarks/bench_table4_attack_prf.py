@@ -1,0 +1,23 @@
+"""[Table IV] Precision/recall/F1/accuracy of five attacks at alpha=0.7.
+
+Paper: CIP pushes recall below 0.5 with precision around 0.5 (the attacker
+misclassifies members as non-members), making the overall accuracy near
+random.  Shape checks: mean attack accuracy near 0.5 and mean recall below
+0.75 across the table.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table4_attack_prf(benchmark, profile):
+    result = run_and_report(benchmark, "table4", profile)
+    assert len(result.rows) == 4 * 5  # datasets x attacks
+    accuracies = [row["accuracy"] for row in result.rows]
+    recalls = [row["recall"] for row in result.rows]
+    assert np.mean(accuracies) < 0.68
+    assert np.mean(recalls) < 0.8
+    for row in result.rows:
+        for metric in ("precision", "recall", "f1", "accuracy"):
+            assert 0.0 <= row[metric] <= 1.0

@@ -1,0 +1,27 @@
+"""[Table V] CIP test accuracy across alpha, per dataset.
+
+Paper: accuracy is flat (sometimes better than no defense) for alpha <= 0.5
+and drops ~1.6% on average at alpha >= 0.7.  Shape check: at every alpha,
+CIP's accuracy stays within a modest band of the alpha=0 (no-defense)
+accuracy — the utility-preservation claim.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table5_accuracy_vs_alpha(benchmark, profile):
+    result = run_and_report(benchmark, "table5", profile)
+    assert len(result.rows) == 4
+    small_alpha = min(profile.alphas)
+    for row in result.rows:
+        baseline = row["alpha_0"]
+        # At the smallest alpha CIP is on par with (often above) no defense
+        # — the paper's strongest utility claim.
+        assert row[f"alpha_{small_alpha}"] > baseline - 0.1, row["dataset"]
+        # Across the sweep the *mean* accuracy stays within a band of the
+        # baseline; individual short runs vary more at reproduction scale
+        # (paper: within ~2% everywhere).
+        sweep_mean = sum(row[f"alpha_{a}"] for a in profile.alphas) / len(profile.alphas)
+        assert sweep_mean > baseline - 0.18, (
+            f"{row['dataset']}: sweep mean {sweep_mean:.3f} vs baseline {baseline:.3f}"
+        )

@@ -1,0 +1,20 @@
+"""[Table VII] Adaptive Optimization-2: active alteration by the server.
+
+Paper: the malicious server descends the loss on target samples and
+classifies larger post-update losses as members; results are close to
+random guessing for alpha >= 0.5 because lambda_m keeps the original-data
+loss increase small.  Shape check: mean attack accuracy across the table is
+near random guessing.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table7_adaptive_opt2(benchmark, profile):
+    result = run_and_report(benchmark, "table7", profile)
+    accuracies = [row["attack_acc"] for row in result.rows]
+    assert np.mean(accuracies) < 0.68
+    for row in result.rows:
+        assert 0.0 <= row["attack_acc"] <= 1.0

@@ -1,0 +1,19 @@
+"""[Table IX] Adaptive Knowledge-2: shadow t from partial training data.
+
+Paper: knowing 20%-80% of the victim's training data barely changes the
+attack on the *unknown* remainder — the known part reveals nothing about
+other samples' membership.  Shape check: the spread of attack accuracy
+across known-fractions is small for each dataset.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table9_adaptive_k2(benchmark, profile):
+    result = run_and_report(benchmark, "table9", profile)
+    for dataset in {row["dataset"] for row in result.rows}:
+        accs = [r["attack_acc"] for r in result.rows if r["dataset"] == dataset]
+        assert max(accs) - min(accs) < 0.25  # flat in the known fraction
+    assert np.mean([r["attack_acc"] for r in result.rows]) < 0.75

@@ -1,0 +1,22 @@
+"""[Theorem 1] Numeric check of the adaptive-advantage bound.
+
+Paper: for the strongest adaptive attack, guessing a perturbation t' != t
+multiplies the adversarial advantage by eps = exp(-(l(z_t') - l(z_t))/T)
+<= 1 whenever l(z_t) <= l(z_t').  Shape checks: the assumption holds on the
+trained model for every guess, and eps <= 1 on the large majority of
+samples (clipping breaks exact per-sample ordering occasionally).
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_theorem1_bound(benchmark, profile):
+    result = run_and_report(benchmark, "theorem1", profile)
+    assert {row["guess"] for row in result.rows} == {"zero", "random", "noisy_true"}
+    for row in result.rows:
+        assert row["assumption_holds"]  # mean loss under true t is smallest
+        assert row["mean_epsilon"] <= 1.0 + 1e-9
+        assert row["fraction_bounded"] > 0.8
+    # a guess closer to the true t yields a larger (less favourable) epsilon
+    by_guess = {row["guess"]: row for row in result.rows}
+    assert by_guess["noisy_true"]["mean_epsilon"] >= by_guess["random"]["mean_epsilon"] - 0.05

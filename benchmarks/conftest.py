@@ -1,0 +1,39 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one table or figure of the paper at the ``quick``
+profile (override with ``REPRO_PROFILE=full`` for paper-shaped sweeps) and
+prints the resulting table, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the paper's evaluation section as text.  Experiments are
+deterministic and expensive, so each is measured with a single
+pedantic round; trained artifacts are cached across benches within the run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import format_table, get_profile, run_experiment
+
+
+def active_profile():
+    return get_profile(os.environ.get("REPRO_PROFILE", "quick"))
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return active_profile()
+
+
+def run_and_report(benchmark, experiment_id: str, profile):
+    """Run one registered experiment under pytest-benchmark and print it."""
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, profile), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(result))
+    return result

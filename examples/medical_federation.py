@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""A privacy-preserving medical-imaging federation.
+
+The paper's motivating scenario: hospitals collaboratively train a tissue
+classifier (CH-MNIST, colorectal-cancer histology) without any hospital's
+patient data leaking through membership inference — a HIPAA concern.
+
+This example runs the *full federated pipeline* with a malicious server:
+
+* four "hospitals" with non-i.i.d. tissue-class distributions (specialist
+  clinics see different tissue types);
+* FedAvg coordination by a server that *passively records* each hospital's
+  local model every round (Nasr et al.'s internal adversary);
+* the same federation with CIP clients — each hospital keeps a secret
+  perturbation — where the same server attack fails.
+
+Run:  python examples/medical_federation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.internal import (
+    PassiveServerAttack,
+    StateEvaluator,
+    cip_zero_blend_forward,
+)
+from repro.core import CIPClient, CIPConfig
+from repro.data import load_chmnist, partition_by_classes
+from repro.fl import ClientConfig, FLClient, FLServer, FederatedSimulation
+from repro.fl.training import evaluate_model
+from repro.nn.models import build_model
+
+NUM_HOSPITALS = 4
+CLASSES_PER_HOSPITAL = 4  # specialist clinics: 4 of 8 tissue types each
+ROUNDS = 30  # CIP federations need ~30 rounds to reach the defended regime
+SNAPSHOT_TAIL = 3  # the malicious server records the last rounds
+
+
+def run_federation(bundle, shards, use_cip: bool):
+    """Train one federation; return (test accuracy, simulation, forward)."""
+    in_channels = bundle.train.inputs.shape[1]
+    client_config = ClientConfig(lr=5e-2)
+    if use_cip:
+        config = CIPConfig(alpha=0.5, lambda_m=1e-6, perturbation_lr=1e-2)
+        factory = lambda: build_model(  # noqa: E731
+            "resnet", bundle.num_classes, dual_channel=True, in_channels=in_channels, seed=3
+        )
+        clients = [
+            CIPClient(i, shards[i], factory, cip_config=config, config=client_config, seed=i)
+            for i in range(NUM_HOSPITALS)
+        ]
+        forward = cip_zero_blend_forward(config)
+    else:
+        factory = lambda: build_model(  # noqa: E731
+            "resnet", bundle.num_classes, in_channels=in_channels, seed=3
+        )
+        clients = [
+            FLClient(i, shards[i], factory, client_config, seed=i)
+            for i in range(NUM_HOSPITALS)
+        ]
+        from repro.attacks.internal import plain_forward as forward  # type: ignore
+
+    server = FLServer(factory)
+    simulation = FederatedSimulation(
+        server, clients, snapshot_rounds=range(ROUNDS - SNAPSHOT_TAIL, ROUNDS)
+    )
+    simulation.run(ROUNDS)
+    if use_cip:
+        accuracy = float(np.mean(simulation.evaluate_clients(bundle.test)))
+    else:
+        accuracy = evaluate_model(server.model, bundle.test).accuracy
+    return accuracy, simulation, factory, forward
+
+
+def attack_hospital_zero(bundle, shards, simulation, factory, forward) -> float:
+    """The malicious server infers membership of hospital 0's patients."""
+    evaluator = StateEvaluator(factory(), forward=forward)
+    attack = PassiveServerAttack(evaluator, victim_id=0)
+    patients = shards[0].shuffled(seed=5)
+    outsiders = bundle.test.shuffled(seed=6)
+    pool = min(len(patients) // 2, len(outsiders) // 2, 40)
+    known_m, eval_m = patients.take(2 * pool).split(0.5, seed=0)
+    known_n, eval_n = outsiders.take(2 * pool).split(0.5, seed=0)
+    report = attack.run(simulation.history.snapshots, known_m, known_n, eval_m, eval_n)
+    return report.accuracy
+
+
+def main() -> None:
+    bundle = load_chmnist(seed=4, samples_per_class=20)
+    shards = partition_by_classes(
+        bundle.train, NUM_HOSPITALS, CLASSES_PER_HOSPITAL, seed=9
+    )
+    print(f"{NUM_HOSPITALS} hospitals, {len(shards[0])} histology images each, "
+          f"{CLASSES_PER_HOSPITAL}/{bundle.num_classes} tissue classes per site\n")
+
+    acc, sim, factory, forward = run_federation(bundle, shards, use_cip=False)
+    attack = attack_hospital_zero(bundle, shards, sim, factory, forward)
+    print(f"[no defense] global test acc {acc:.3f} | server's MI attack acc {attack:.3f}")
+
+    acc_cip, sim_cip, factory_cip, forward_cip = run_federation(bundle, shards, use_cip=True)
+    attack_cip = attack_hospital_zero(bundle, shards, sim_cip, factory_cip, forward_cip)
+    print(f"[CIP]        mean client test acc {acc_cip:.3f} | server's MI attack acc {attack_cip:.3f}")
+
+    print()
+    if attack_cip < attack:
+        print("CIP reduced the malicious server's membership-inference accuracy "
+              f"by {attack - attack_cip:.3f} while keeping the federation useful.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: defend a model against membership inference with CIP.
+
+This script walks the core loop of the library in ~a minute of CPU time:
+
+1. load a synthetic benchmark (the library's CIFAR-100 stand-in);
+2. train a *no-defense* model and attack it — the attack succeeds;
+3. train the same task with **CIP** (client-level input perturbation);
+4. attack the CIP model — the attack collapses to near random guessing,
+   while test accuracy stays at the no-defense level.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import AttackData, ObMALTAttack, PlainTarget, evaluate_attack
+from repro.core import CIPConfig, CIPTrainer, Perturbation
+from repro.data import load_cifar100
+from repro.fl.training import evaluate_model, train_supervised
+from repro.nn.models import build_model
+from repro.nn.optim import SGD
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Data: members (training pool) and non-members (test pool).
+    # ------------------------------------------------------------------
+    bundle = load_cifar100(seed=7, samples_per_class=8)
+    print(f"dataset: {bundle.name}, {len(bundle.train)} members / {len(bundle.test)} non-members")
+
+    # ------------------------------------------------------------------
+    # 2. No defense: train, then mount the Bayes-optimal loss attack.
+    # ------------------------------------------------------------------
+    model = build_model("resnet", bundle.num_classes, in_channels=3, seed=0)
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    for epoch in range(15):
+        train_supervised(model, bundle.train, optimizer, epochs=1, batch_size=32, seed=epoch)
+    baseline_acc = evaluate_model(model, bundle.test).accuracy
+
+    attack_data = AttackData.from_pools(bundle.train.take(80), bundle.test.take(80), seed=1)
+    target = PlainTarget(model, bundle.num_classes)
+    baseline_attack = evaluate_attack(ObMALTAttack(), target, attack_data)
+    print(f"[no defense] test acc {baseline_acc:.3f} | MI attack acc {baseline_attack.accuracy:.3f}")
+
+    # ------------------------------------------------------------------
+    # 3. CIP: a secret perturbation t + the dual-channel model, trained
+    #    with the alternating Step-I / Step-II optimization.
+    # ------------------------------------------------------------------
+    config = CIPConfig(alpha=0.7, lambda_m=1e-6, lambda_t=1e-8, perturbation_lr=1e-2)
+    cip_model = build_model(
+        "resnet", bundle.num_classes, dual_channel=True, in_channels=3, seed=0
+    )
+    perturbation = Perturbation(bundle.train.input_shape, config, seed=11)
+    cip_optimizer = SGD(cip_model.parameters(), lr=0.05, momentum=0.9)
+    trainer = CIPTrainer(cip_model, perturbation, cip_optimizer, config=config)
+    trainer.train(bundle.train, epochs=15, batch_size=32, seed=2)
+    cip_acc = trainer.evaluate(bundle.test).accuracy  # queries blended with t
+
+    # ------------------------------------------------------------------
+    # 4. Attack CIP. The adversary does not know t: its queries go
+    #    through the zero-perturbation blend.
+    # ------------------------------------------------------------------
+    from repro.attacks import CIPTarget
+
+    cip_target = CIPTarget(cip_model, bundle.num_classes, config, guess_t=None)
+    cip_attack = evaluate_attack(ObMALTAttack(), cip_target, attack_data)
+    print(f"[CIP a=0.7]  test acc {cip_acc:.3f} | MI attack acc {cip_attack.accuracy:.3f}")
+
+    print()
+    print(f"attack reduction: {baseline_attack.accuracy:.3f} -> {cip_attack.accuracy:.3f}")
+    print(f"accuracy change:  {baseline_acc:.3f} -> {cip_acc:.3f}")
+    assert cip_attack.accuracy < baseline_attack.accuracy, "CIP should weaken the attack"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""CIP: Client-level Input Perturbation against membership inference in FL.
+
+A from-scratch reproduction of "Fortifying Federated Learning against
+Membership Inference Attacks via Client-level Input Perturbation" (DSN'23).
+
+Packages
+--------
+:mod:`repro.nn`
+    NumPy deep-learning substrate (autograd, layers, optimizers, model zoo).
+:mod:`repro.data`
+    Synthetic benchmark datasets, augmentation, FL partitioning.
+:mod:`repro.fl`
+    FedAvg simulation with malicious-server instrumentation.
+:mod:`repro.core`
+    The CIP defense: blending, perturbation optimization, dual-channel
+    training, theory.
+:mod:`repro.attacks`
+    Five external MI attacks, internal passive/active server attacks, six
+    adaptive attacks.
+:mod:`repro.defenses`
+    Baselines: DP, HDP, adversarial regularization, Mixup+MMD, RelaxLoss.
+:mod:`repro.metrics`
+    Attack metrics, EMD, SSIM, loss-distribution diagnostics.
+:mod:`repro.experiments`
+    Registry regenerating every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "data",
+    "fl",
+    "core",
+    "attacks",
+    "defenses",
+    "metrics",
+    "experiments",
+    "utils",
+]

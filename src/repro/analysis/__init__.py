@@ -1,0 +1,30 @@
+"""Result analysis: the paper's published numbers + shape-agreement stats.
+
+Example — compare a measured Table-V sweep to the paper's::
+
+    from repro.analysis import compare_sweeps, paper_reference as ref
+
+    alphas, published = ref.table5_sweep("cifar100")
+    report = compare_sweeps(measured_accuracies, published)
+    assert report.trend_match
+"""
+
+from repro.analysis import paper_reference
+from repro.analysis.shape import (
+    ShapeReport,
+    compare_sweeps,
+    ordering_agreement,
+    spearman_rank_correlation,
+    trend_agreement,
+    trend_direction,
+)
+
+__all__ = [
+    "paper_reference",
+    "ShapeReport",
+    "compare_sweeps",
+    "spearman_rank_correlation",
+    "trend_direction",
+    "trend_agreement",
+    "ordering_agreement",
+]

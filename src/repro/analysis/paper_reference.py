@@ -1,0 +1,208 @@
+"""The paper's published numbers, as structured data.
+
+Transcribed from the evaluation section of Yang et al. (DSN'23) so the
+reproduction can be compared *quantitatively* to the paper: rank
+correlations of sweeps, sign agreement of trends, ordering of defenses.
+Every table below cites its source table/figure; values are exactly as
+printed (including the paper's typo in Table VII, CIFAR-100 at alpha=0.7,
+printed as "584" and interpreted as 0.584).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+# ----------------------------------------------------------------------
+# Table I — internal setup: legacy federated models on CIFAR-100.
+# (model, clients) -> (train_iterations, train_acc, test_acc)
+# ----------------------------------------------------------------------
+TABLE1_LEGACY: Dict[Tuple[str, int], Tuple[int, float, float]] = {
+    ("resnet", 2): (120, 0.970, 0.545),
+    ("resnet", 5): (300, 0.985, 0.543),
+    ("resnet", 10): (500, 0.975, 0.529),
+    ("resnet", 20): (800, 0.957, 0.357),
+    ("resnet", 50): (1500, 0.924, 0.328),
+    ("densenet", 2): (300, 0.943, 0.565),
+    ("densenet", 5): (600, 0.921, 0.587),
+    ("densenet", 10): (1000, 0.929, 0.504),
+    ("densenet", 20): (1500, 0.932, 0.372),
+    ("densenet", 50): (3000, 0.948, 0.332),
+    ("vgg", 2): (300, 0.907, 0.613),
+    ("vgg", 5): (600, 0.882, 0.614),
+    ("vgg", 10): (1000, 0.947, 0.541),
+    ("vgg", 20): (1500, 0.982, 0.471),
+    ("vgg", 50): (3000, 0.966, 0.424),
+}
+
+# ----------------------------------------------------------------------
+# Table II — external setup. dataset -> (model, train_acc, test_acc)
+# ----------------------------------------------------------------------
+TABLE2_EXTERNAL: Dict[str, Tuple[str, float, float]] = {
+    "cifar100": ("resnet", 0.998, 0.323),
+    "cifar_aug": ("resnet", 0.986, 0.434),
+    "chmnist": ("resnet", 0.993, 0.899),
+    "purchase50": ("mlp", 0.991, 0.755),
+}
+
+# ----------------------------------------------------------------------
+# Table III — heterogeneity sweep (5 clients, CIFAR-100).
+# classes_per_client -> (cip, no_defense, local_training)
+# ----------------------------------------------------------------------
+TABLE3_HETEROGENEITY: Dict[int, Tuple[float, float, float]] = {
+    20: (0.683, 0.611, 0.674),
+    40: (0.676, 0.635, 0.616),
+    60: (0.672, 0.653, 0.525),
+    80: (0.670, 0.668, 0.483),
+    100: (0.665, 0.672, 0.439),
+}
+
+# ----------------------------------------------------------------------
+# Table IV — attack precision/recall/F1/accuracy against CIP (alpha=0.7).
+# (dataset, attack) -> (precision, recall, f1, accuracy)
+# ----------------------------------------------------------------------
+TABLE4_ATTACK_METRICS: Dict[Tuple[str, str], Tuple[float, float, float, float]] = {
+    ("cifar100", "Ob-Label"): (0.539, 0.256, 0.347, 0.518),
+    ("cifar100", "Ob-MALT"): (0.598, 0.105, 0.178, 0.517),
+    ("cifar100", "Ob-NN"): (0.509, 0.326, 0.397, 0.506),
+    ("cifar100", "Ob-BlindMI"): (0.515, 0.468, 0.491, 0.515),
+    ("cifar100", "Pb-Bayes"): (0.686, 0.447, 0.541, 0.621),
+    ("cifar_aug", "Ob-Label"): (0.537, 0.388, 0.450, 0.527),
+    ("cifar_aug", "Ob-MALT"): (0.522, 0.159, 0.244, 0.506),
+    ("cifar_aug", "Ob-NN"): (0.484, 0.259, 0.373, 0.491),
+    ("cifar_aug", "Ob-BlindMI"): (0.474, 0.022, 0.041, 0.499),
+    ("cifar_aug", "Pb-Bayes"): (0.615, 0.235, 0.341, 0.544),
+    ("chmnist", "Ob-Label"): (0.506, 0.451, 0.477, 0.506),
+    ("chmnist", "Ob-MALT"): (0.523, 0.215, 0.305, 0.509),
+    ("chmnist", "Ob-NN"): (0.497, 0.373, 0.426, 0.498),
+    ("chmnist", "Ob-BlindMI"): (0.523, 0.263, 0.350, 0.511),
+    ("chmnist", "Pb-Bayes"): (0.588, 0.317, 0.412, 0.548),
+    ("purchase50", "Ob-Label"): (0.524, 0.234, 0.324, 0.511),
+    ("purchase50", "Ob-MALT"): (0.534, 0.237, 0.328, 0.515),
+    ("purchase50", "Ob-NN"): (0.506, 0.408, 0.451, 0.505),
+    ("purchase50", "Ob-BlindMI"): (0.524, 0.371, 0.434, 0.517),
+    ("purchase50", "Pb-Bayes"): (0.528, 0.357, 0.426, 0.519),
+}
+
+# ----------------------------------------------------------------------
+# Table V — CIP test accuracy vs alpha. dataset -> {alpha: accuracy};
+# alpha 0.0 is the no-defense baseline.
+# ----------------------------------------------------------------------
+TABLE5_ACCURACY: Dict[str, Dict[float, float]] = {
+    "cifar100": {0.0: 0.323, 0.1: 0.335, 0.3: 0.328, 0.5: 0.327, 0.7: 0.323, 0.9: 0.316},
+    "cifar_aug": {0.0: 0.434, 0.1: 0.474, 0.3: 0.457, 0.5: 0.436, 0.7: 0.422, 0.9: 0.398},
+    "chmnist": {0.0: 0.899, 0.1: 0.921, 0.3: 0.904, 0.5: 0.905, 0.7: 0.903, 0.9: 0.892},
+    "purchase50": {0.0: 0.755, 0.1: 0.768, 0.3: 0.757, 0.5: 0.754, 0.7: 0.755, 0.9: 0.741},
+}
+
+# ----------------------------------------------------------------------
+# Table VI — Optimization-1 (internal/external) accuracy vs alpha.
+# dataset -> {alpha: (internal, external)}
+# ----------------------------------------------------------------------
+TABLE6_OPT1: Dict[str, Dict[float, Tuple[float, float]]] = {
+    "cifar100": {
+        0.1: (0.950, 0.948), 0.3: (0.901, 0.892), 0.5: (0.769, 0.746),
+        0.7: (0.698, 0.649), 0.9: (0.642, 0.606),
+    },
+    "cifar_aug": {
+        0.1: (0.702, 0.681), 0.3: (0.669, 0.662), 0.5: (0.625, 0.618),
+        0.7: (0.603, 0.586), 0.9: (0.578, 0.564),
+    },
+    "chmnist": {
+        0.1: (0.653, 0.658), 0.3: (0.639, 0.631), 0.5: (0.622, 0.617),
+        0.7: (0.608, 0.596), 0.9: (0.570, 0.573),
+    },
+    "purchase50": {
+        0.1: (0.624, 0.614), 0.3: (0.609, 0.597), 0.5: (0.556, 0.545),
+        0.7: (0.539, 0.536), 0.9: (0.541, 0.533),
+    },
+}
+
+# ----------------------------------------------------------------------
+# Table VII — Optimization-2 (active alteration) accuracy vs alpha.
+# ----------------------------------------------------------------------
+TABLE7_OPT2: Dict[str, Dict[float, float]] = {
+    "cifar100": {0.1: 0.758, 0.3: 0.672, 0.5: 0.608, 0.7: 0.584, 0.9: 0.547},
+    "cifar_aug": {0.1: 0.602, 0.3: 0.565, 0.5: 0.533, 0.7: 0.531, 0.9: 0.519},
+    "chmnist": {0.1: 0.540, 0.3: 0.535, 0.5: 0.521, 0.7: 0.519, 0.9: 0.505},
+    "purchase50": {0.1: 0.522, 0.3: 0.520, 0.5: 0.515, 0.7: 0.516, 0.9: 0.511},
+}
+
+# ----------------------------------------------------------------------
+# Table VIII — Knowledge-1 (public seed) accuracy vs seed SSIM (alpha=0.7).
+# ----------------------------------------------------------------------
+TABLE8_K1: Dict[str, Dict[float, float]] = {
+    "cifar100": {0.1: 0.575, 0.3: 0.586, 0.5: 0.607, 0.7: 0.618, 1.0: 0.624},
+    "cifar_aug": {0.1: 0.542, 0.3: 0.551, 0.5: 0.550, 0.7: 0.562, 1.0: 0.569},
+    "chmnist": {0.1: 0.532, 0.3: 0.534, 0.5: 0.549, 0.7: 0.566, 1.0: 0.571},
+    "purchase50": {0.1: 0.518, 0.3: 0.521, 0.5: 0.525, 0.7: 0.534, 1.0: 0.538},
+}
+
+# ----------------------------------------------------------------------
+# Table IX — Knowledge-2 (partial training data) accuracy vs known fraction.
+# ----------------------------------------------------------------------
+TABLE9_K2: Dict[str, Dict[float, float]] = {
+    "cifar100": {0.2: 0.583, 0.4: 0.584, 0.6: 0.572, 0.8: 0.575},
+    "cifar_aug": {0.2: 0.533, 0.4: 0.531, 0.6: 0.536, 0.8: 0.535},
+    "chmnist": {0.2: 0.532, 0.4: 0.525, 0.6: 0.537, 0.8: 0.539},
+    "purchase50": {0.2: 0.528, 0.4: 0.519, 0.6: 0.517, 0.8: 0.524},
+}
+
+# ----------------------------------------------------------------------
+# Knowledge-3 (in-text, i.i.d. CIFAR-100).
+# ----------------------------------------------------------------------
+KNOWLEDGE3 = {
+    "test_acc_substitute_t": 0.695,
+    "test_acc_true_t": 0.666,
+    "attack_acc": 0.535,
+    "train_acc_true_t": 0.991,
+    "train_acc_substitute_t": 0.722,
+    "ssim_t_tprime": 0.665,
+}
+
+# ----------------------------------------------------------------------
+# Table X — Knowledge-4 (inverse MI) accuracy vs alpha.
+# ----------------------------------------------------------------------
+TABLE10_INVERSE: Dict[str, Dict[float, float]] = {
+    "cifar100": {0.1: 0.159, 0.3: 0.328, 0.5: 0.442, 0.7: 0.483, 0.9: 0.489},
+    "cifar_aug": {0.1: 0.328, 0.3: 0.394, 0.5: 0.490, 0.7: 0.494, 0.9: 0.498},
+    "chmnist": {0.1: 0.414, 0.3: 0.451, 0.5: 0.474, 0.7: 0.491, 0.9: 0.495},
+    "purchase50": {0.1: 0.387, 0.3: 0.447, 0.5: 0.482, 0.7: 0.485, 0.9: 0.491},
+}
+
+# ----------------------------------------------------------------------
+# Table XI — overhead (5 clients). model -> (params_none, params_cip,
+# epochs_none, epochs_cip)
+# ----------------------------------------------------------------------
+TABLE11_OVERHEAD: Dict[str, Tuple[int, int, int, int]] = {
+    "resnet": (23_792_612, 23_997_412, 300, 150),
+    "densenet": (14_765_988, 14_817_188, 600, 300),
+    "vgg": (7_140_004, 7_242_404, 600, 300),
+}
+
+# Headline claims (abstract / section V).
+HEADLINES = {
+    "max_accuracy_drop": 0.007,  # "accuracy to drop at most 0.7%"
+    "param_overhead_pct": 0.87,  # Table XI average
+    "epochs_reduction_pct": 50.0,  # Table XI
+    "deployed_alpha": 0.9,  # RQ3 take-away
+}
+
+
+def table5_sweep(dataset: str) -> Tuple[List[float], List[float]]:
+    """(alphas, accuracies) for one dataset's Table-V row (alpha>0 only)."""
+    row = TABLE5_ACCURACY[dataset]
+    alphas = sorted(a for a in row if a > 0)
+    return alphas, [row[a] for a in alphas]
+
+
+def table6_external_sweep(dataset: str) -> Tuple[List[float], List[float]]:
+    """(alphas, external attack accuracies) for one Table-VI row."""
+    row = TABLE6_OPT1[dataset]
+    alphas = sorted(row)
+    return alphas, [row[a][1] for a in alphas]
+
+
+def table10_sweep(dataset: str) -> Tuple[List[float], List[float]]:
+    row = TABLE10_INVERSE[dataset]
+    alphas = sorted(row)
+    return alphas, [row[a] for a in alphas]

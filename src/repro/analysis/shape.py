@@ -1,0 +1,136 @@
+"""Shape-agreement statistics between measured and published results.
+
+A reproduction on a substitute substrate cannot match absolute numbers; what
+it can match is *shape*: the direction of trends, the ranking within sweeps,
+and the ordering of methods.  This module provides the statistics the
+reproduction uses to quantify that agreement:
+
+* :func:`spearman_rank_correlation` — monotone agreement of two sweeps;
+* :func:`trend_direction` / :func:`trend_agreement` — sign of a sweep's
+  slope and whether measured matches published;
+* :func:`ordering_agreement` — fraction of pairwise orderings preserved
+  (Kendall-style concordance);
+* :func:`ShapeReport` / :func:`compare_sweeps` — a bundled comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def _ranks(values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    order = np.argsort(arr, kind="mergesort")
+    ranks = np.empty(len(arr), dtype=np.float64)
+    ranks[order] = np.arange(1, len(arr) + 1)
+    # average ranks over ties
+    sorted_vals = arr[order]
+    i = 0
+    while i < len(sorted_vals):
+        j = i
+        while j + 1 < len(sorted_vals) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + 1 + j + 1) / 2.0
+        i = j + 1
+    return ranks
+
+
+def spearman_rank_correlation(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman's rho between two equal-length series (ties averaged)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("series must have equal length")
+    if len(a) < 2:
+        raise ValueError("need at least two points")
+    ranks_a, ranks_b = _ranks(a), _ranks(b)
+    std_a, std_b = ranks_a.std(), ranks_b.std()
+    if std_a == 0 or std_b == 0:
+        return 0.0  # a constant series carries no ordering information
+    cov = ((ranks_a - ranks_a.mean()) * (ranks_b - ranks_b.mean())).mean()
+    return float(cov / (std_a * std_b))
+
+
+def trend_direction(values: Sequence[float], tolerance: float = 0.0) -> int:
+    """Sign of a sweep's overall slope: +1 rising, -1 falling, 0 flat.
+
+    Uses the endpoint difference; ``tolerance`` absorbs noise (a |change|
+    <= tolerance counts as flat).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) < 2:
+        raise ValueError("need at least two points")
+    delta = float(values[-1] - values[0])
+    if abs(delta) <= tolerance:
+        return 0
+    return 1 if delta > 0 else -1
+
+
+def trend_agreement(
+    measured: Sequence[float], published: Sequence[float], tolerance: float = 0.0
+) -> bool:
+    """Measured sweep moves in the published direction (flat matches flat
+    or anything within tolerance)."""
+    measured_dir = trend_direction(measured, tolerance)
+    published_dir = trend_direction(published, tolerance)
+    if published_dir == 0:
+        return True
+    return measured_dir == published_dir or measured_dir == 0
+
+
+def ordering_agreement(measured: Sequence[float], published: Sequence[float]) -> float:
+    """Fraction of pairwise orderings of ``published`` preserved in ``measured``.
+
+    1.0 = every published "x beats y" also holds in the measurement;
+    0.5 ~ random; ties in either series count as half-agreements.
+    """
+    measured = np.asarray(measured, dtype=np.float64)
+    published = np.asarray(published, dtype=np.float64)
+    if measured.shape != published.shape:
+        raise ValueError("series must have equal length")
+    n = len(measured)
+    if n < 2:
+        raise ValueError("need at least two points")
+    agree = 0.0
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            sign_pub = np.sign(published[i] - published[j])
+            sign_meas = np.sign(measured[i] - measured[j])
+            if sign_pub == 0 or sign_meas == 0:
+                agree += 0.5
+            elif sign_pub == sign_meas:
+                agree += 1.0
+            pairs += 1
+    return agree / pairs
+
+
+@dataclass(frozen=True)
+class ShapeReport:
+    """Bundled shape comparison of one measured sweep against the paper."""
+
+    spearman: float
+    trend_match: bool
+    ordering: float
+
+    @property
+    def agrees(self) -> bool:
+        """Overall verdict: trend matches and orderings are mostly preserved."""
+        return self.trend_match and self.ordering >= 0.5
+
+
+def compare_sweeps(
+    measured: Sequence[float],
+    published: Sequence[float],
+    trend_tolerance: float = 0.01,
+) -> ShapeReport:
+    """Compare a measured sweep to the paper's sweep over the same knob."""
+    return ShapeReport(
+        spearman=spearman_rank_correlation(measured, published),
+        trend_match=trend_agreement(measured, published, tolerance=trend_tolerance),
+        ordering=ordering_agreement(measured, published),
+    )

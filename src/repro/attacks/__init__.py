@@ -1,0 +1,78 @@
+"""Membership-inference attack suite.
+
+External (against the released global model):
+  Ob-Label, Ob-MALT, Ob-NN, Ob-BlindMI (output-based), Pb-Bayes (parameter-
+  based) — the five state-of-the-art attacks of the paper's RQ3.
+
+Internal (malicious server, Nasr et al.):
+  PassiveServerAttack (multi-round observation) and ActiveServerAttack
+  (gradient ascent on targets).
+
+Adaptive (RQ4): see :mod:`repro.attacks.adaptive`.
+"""
+
+from repro.attacks.base import (
+    AttackData,
+    AttackReport,
+    CIPTarget,
+    MIAttack,
+    PlainTarget,
+    TargetModel,
+    evaluate_attack,
+)
+from repro.attacks.shadow import ShadowConfig, train_shadow
+from repro.attacks.ob_label import ObLabelAttack
+from repro.attacks.ob_malt import AnchoredLossAttack, ObMALTAttack
+from repro.attacks.ob_nn import ObNNAttack, posterior_features
+from repro.attacks.ob_blindmi import ObBlindMIAttack, gaussian_mmd
+from repro.attacks.pb_bayes import PbBayesAttack, whitebox_features
+from repro.attacks.lira import LiRAAttack, LiRAConfig, logit_confidence
+from repro.attacks.internal import (
+    ActiveServerAttack,
+    InternalAttackReport,
+    PassiveServerAttack,
+    StateEvaluator,
+    cip_zero_blend_forward,
+    plain_forward,
+)
+from repro.attacks import adaptive
+
+EXTERNAL_ATTACKS = {
+    "Ob-Label": ObLabelAttack,
+    "Ob-MALT": ObMALTAttack,
+    "Ob-NN": ObNNAttack,
+    "Ob-BlindMI": ObBlindMIAttack,
+    "Pb-Bayes": PbBayesAttack,
+}
+
+__all__ = [
+    "AttackData",
+    "AttackReport",
+    "MIAttack",
+    "TargetModel",
+    "PlainTarget",
+    "CIPTarget",
+    "evaluate_attack",
+    "ShadowConfig",
+    "train_shadow",
+    "ObLabelAttack",
+    "ObMALTAttack",
+    "AnchoredLossAttack",
+    "ObNNAttack",
+    "ObBlindMIAttack",
+    "PbBayesAttack",
+    "LiRAAttack",
+    "LiRAConfig",
+    "logit_confidence",
+    "posterior_features",
+    "whitebox_features",
+    "gaussian_mmd",
+    "PassiveServerAttack",
+    "ActiveServerAttack",
+    "InternalAttackReport",
+    "StateEvaluator",
+    "plain_forward",
+    "cip_zero_blend_forward",
+    "adaptive",
+    "EXTERNAL_ATTACKS",
+]

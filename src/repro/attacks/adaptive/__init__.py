@@ -1,0 +1,21 @@
+"""Adaptive adversaries (paper RQ4): attackers who know CIP's mechanism."""
+
+from repro.attacks.adaptive.optimization1 import ProbeOptimizationAttack
+from repro.attacks.adaptive.optimization2 import ActiveAlterationAttack
+from repro.attacks.adaptive.knowledge1 import PublicSeedAttack
+from repro.attacks.adaptive.knowledge2 import PartialDataAttack
+from repro.attacks.adaptive.knowledge3 import (
+    SubstitutePerturbationAttack,
+    SubstitutePerturbationReport,
+)
+from repro.attacks.adaptive.knowledge4 import InverseMIAttack
+
+__all__ = [
+    "ProbeOptimizationAttack",
+    "ActiveAlterationAttack",
+    "PublicSeedAttack",
+    "PartialDataAttack",
+    "SubstitutePerturbationAttack",
+    "SubstitutePerturbationReport",
+    "InverseMIAttack",
+]

@@ -1,0 +1,81 @@
+"""[Knowledge-3] Substitute ``t'`` from a malicious FL client (RQ4 in-text).
+
+A malicious *client* inside the federation owns a perfectly legitimate
+perturbation ``t'`` of its own — optimized against the same global model —
+and tries to use it to infer membership of another client's data.  Under an
+i.i.d. partition ``t'`` even yields good test accuracy, yet the attack fails:
+``t'`` was never optimized on the *victim's* training samples, so members
+and non-members remain non-separable under ``t'``-blended queries.
+
+The report includes the side measurements the paper discusses: test/train
+accuracy under ``t'`` and the SSIM between ``t`` and ``t'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.base import AttackData, CIPTarget, evaluate_attack
+from repro.attacks.ob_malt import ObMALTAttack
+from repro.core.cip_client import CIPClient
+from repro.core.trainer import evaluate_with_perturbation
+from repro.data.dataset import Dataset
+from repro.metrics.classification import BinaryMetrics
+from repro.metrics.ssim import ssim
+
+
+@dataclass
+class SubstitutePerturbationReport:
+    """Attack outcome plus the utility diagnostics of Table/RQ4-Knowledge-3."""
+
+    metrics: BinaryMetrics
+    auc: float
+    test_accuracy_with_substitute: float
+    train_accuracy_with_substitute: float
+    train_accuracy_with_true_t: float
+    ssim_t_tprime: float
+
+    @property
+    def accuracy(self) -> float:
+        return self.metrics.accuracy
+
+
+class SubstitutePerturbationAttack:
+    """Attack a victim's data with another client's perturbation."""
+
+    name = "Adaptive-Knowledge-3"
+
+    def run(
+        self,
+        victim: CIPClient,
+        attacker: CIPClient,
+        test_data: Dataset,
+        nonmembers: Dataset,
+    ) -> SubstitutePerturbationReport:
+        substitute_t = attacker.perturbation.value
+        true_t = victim.perturbation.value
+        target = CIPTarget(
+            victim.model, victim.dataset.num_classes, victim.cip_config, guess_t=substitute_t
+        )
+        data = AttackData.from_pools(victim.dataset, nonmembers, seed=0)
+        report = evaluate_attack(ObMALTAttack(), target, data)
+
+        test_eval = evaluate_with_perturbation(
+            victim.model, substitute_t, test_data, victim.cip_config
+        )
+        train_eval_substitute = evaluate_with_perturbation(
+            victim.model, substitute_t, victim.dataset, victim.cip_config
+        )
+        train_eval_true = evaluate_with_perturbation(
+            victim.model, true_t, victim.dataset, victim.cip_config
+        )
+        return SubstitutePerturbationReport(
+            metrics=report.metrics,
+            auc=report.auc,
+            test_accuracy_with_substitute=test_eval.accuracy,
+            train_accuracy_with_substitute=train_eval_substitute.accuracy,
+            train_accuracy_with_true_t=train_eval_true.accuracy,
+            ssim_t_tprime=ssim(true_t, substitute_t),
+        )

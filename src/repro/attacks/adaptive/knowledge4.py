@@ -1,0 +1,41 @@
+"""[Knowledge-4] Inverse membership inference (Table X).
+
+The adversary knows CIP's mechanism — that Step II deliberately *raises* the
+loss on original training data — and inverts the usual rule: classify
+samples with abnormally **high** loss (under the zero-perturbation blend) as
+members.  The defense's answer is the tiny ``lambda_m``: the loss increase
+on original members is kept too small to separate them, so the inverse
+attack stays at or below random guessing (and at low alpha it is *worse*
+than random, because members still have slightly lower loss).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackData, MIAttack, TargetModel, sigmoid
+from repro.data.dataset import Dataset
+
+
+class InverseMIAttack(MIAttack):
+    """Member iff the loss is abnormally high (inverse of Ob-MALT)."""
+
+    name = "Adaptive-Knowledge-4"
+
+    def __init__(self) -> None:
+        self.threshold: float = 0.0
+        self.temperature: float = 1.0
+
+    def fit(self, target: TargetModel, data: AttackData) -> None:
+        # The inverse attacker does not trust known members (it believes CIP
+        # inflates their loss); it anchors "normal" loss on the non-member
+        # pool and flags anything clearly above it.
+        nonmember_losses = target.per_sample_loss(
+            data.known_nonmembers.inputs, data.known_nonmembers.labels
+        )
+        self.threshold = float(nonmember_losses.mean() + nonmember_losses.std())
+        self.temperature = float(max(nonmember_losses.std(), 1e-6))
+
+    def score(self, target: TargetModel, dataset: Dataset) -> np.ndarray:
+        losses = target.per_sample_loss(dataset.inputs, dataset.labels)
+        return sigmoid((losses - self.threshold) / self.temperature)

@@ -1,0 +1,93 @@
+"""[Optimization-2] Active alteration + optimization (Table VII).
+
+A malicious server *descends* the loss on a target dataset in the model it
+broadcasts to the victim, then observes the victim's returned model: because
+CIP's Step-II objective pushes the loss on original member data *up*, member
+samples bounce back to higher loss than non-members after the victim's local
+update.  The adversary classifies larger-loss samples as members.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import sigmoid
+from repro.attacks.internal import (
+    ForwardFn,
+    InternalAttackReport,
+    StateEvaluator,
+    _evaluate_scores,
+    plain_forward,
+)
+from repro.data.dataset import Dataset
+from repro.fl.malicious import GradientAscentHook
+from repro.fl.simulation import FederatedSimulation
+from repro.nn.layers import Module
+
+
+class ActiveAlterationAttack:
+    """Descend-on-targets, then threshold the victim's post-update loss."""
+
+    name = "Adaptive-Optimization-2"
+
+    def __init__(
+        self,
+        evaluator: StateEvaluator,
+        descent_model: Module,
+        victim_id: int = 0,
+        descent_lr: float = 5e-2,
+        descent_steps: int = 1,
+        forward: ForwardFn = plain_forward,
+    ) -> None:
+        self.evaluator = evaluator
+        self.descent_model = descent_model
+        self.victim_id = victim_id
+        self.descent_lr = descent_lr
+        self.descent_steps = descent_steps
+        self.forward = forward
+
+    def run(
+        self,
+        simulation: FederatedSimulation,
+        members: Dataset,
+        nonmembers: Dataset,
+        attack_rounds: int = 3,
+    ) -> InternalAttackReport:
+        inputs = np.concatenate([members.inputs, nonmembers.inputs])
+        labels = np.concatenate([members.labels, nonmembers.labels])
+        # Descent = gradient ascent with a negative step.
+        hook = GradientAscentHook(
+            self.descent_model,
+            inputs,
+            labels,
+            ascent_lr=-self.descent_lr,
+            ascent_steps=self.descent_steps,
+            victim_id=self.victim_id,
+            forward=self.forward,
+        )
+        previous_hook = simulation.server.broadcast_hook
+        simulation.server.broadcast_hook = hook
+        post_losses = np.zeros(len(inputs))
+        try:
+            for _ in range(attack_rounds):
+                updates = simulation.run_round()
+                victim_state = next(
+                    u.state for u in updates if u.client_id == self.victim_id
+                )
+                post_losses += self.evaluator.per_sample_loss(victim_state, inputs, labels)
+        finally:
+            simulation.server.broadcast_hook = previous_hook
+        post_losses /= attack_rounds
+
+        member_losses = post_losses[: len(members)]
+        nonmember_losses = post_losses[len(members) :]
+        half_m = len(member_losses) // 2
+        half_n = len(nonmember_losses) // 2
+        threshold = (member_losses[:half_m].mean() + nonmember_losses[:half_n].mean()) / 2.0
+        spread = max(
+            abs(member_losses[:half_m].mean() - nonmember_losses[:half_n].mean()) / 2.0, 1e-6
+        )
+        # Larger loss after the victim's update -> member.
+        member_scores = sigmoid((member_losses[half_m:] - threshold) / spread)
+        nonmember_scores = sigmoid((nonmember_losses[half_n:] - threshold) / spread)
+        return _evaluate_scores(self.name, member_scores, nonmember_scores)

@@ -1,0 +1,115 @@
+"""Ob-BlindMI: blind MI via differential comparison (Hui et al., NDSS'21).
+
+BlindMI needs no shadow models and no known members.  It (i) *generates* a
+reference non-member set by probing the target with synthesized inputs,
+(ii) embeds every sample as its output-probability feature vector, and
+(iii) differentially moves samples between the candidate-member and
+non-member sets: moving a true member out of the member set increases the
+maximum-mean-discrepancy (MMD) between the two sets, moving a non-member
+does not.  This is the bi-directional differential comparison
+(BlindMI-DIFF) at reproduction scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackData, MIAttack, TargetModel
+from repro.data.dataset import Dataset
+from repro.utils.rng import SeedLike, derive_rng
+
+
+def gaussian_mmd(set_a: np.ndarray, set_b: np.ndarray, bandwidth: float = 1.0) -> float:
+    """Squared MMD with an RBF kernel between two feature sets."""
+    if len(set_a) == 0 or len(set_b) == 0:
+        return 0.0
+
+    def kernel_mean(x: np.ndarray, y: np.ndarray) -> float:
+        sq = (
+            np.sum(x**2, axis=1)[:, None]
+            + np.sum(y**2, axis=1)[None, :]
+            - 2.0 * x @ y.T
+        )
+        return float(np.exp(-sq / (2.0 * bandwidth**2)).mean())
+
+    return kernel_mean(set_a, set_a) + kernel_mean(set_b, set_b) - 2.0 * kernel_mean(set_a, set_b)
+
+
+class ObBlindMIAttack(MIAttack):
+    """Differential-comparison attack over probability features."""
+
+    name = "Ob-BlindMI"
+
+    def __init__(
+        self,
+        num_generated: int = 40,
+        max_iterations: int = 8,
+        bandwidth: float = 0.5,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.num_generated = num_generated
+        self.max_iterations = max_iterations
+        self.bandwidth = bandwidth
+        self._seed = seed
+
+    # BlindMI is calibration-free: fit is a no-op.
+
+    def _generate_nonmembers(self, target: TargetModel, dataset: Dataset) -> np.ndarray:
+        """Probe with uniform-noise inputs of the data's shape (paper: sample
+        transformation); their outputs anchor the non-member distribution."""
+        rng = derive_rng(self._seed, "generate")
+        shape = (self.num_generated,) + dataset.input_shape
+        noise_inputs = rng.random(shape)
+        probabilities = target.predict_proba(noise_inputs)
+        return np.sort(probabilities, axis=1)[:, ::-1]
+
+    def score(self, target: TargetModel, dataset: Dataset) -> np.ndarray:
+        features = np.sort(target.predict_proba(dataset.inputs), axis=1)[:, ::-1]
+        anchor = self._generate_nonmembers(target, dataset)
+
+        n = len(features)
+        is_member = np.ones(n, dtype=bool)  # start with everything "member"
+        for _iteration in range(self.max_iterations):
+            moved = 0
+            member_set = features[is_member]
+            nonmember_set = np.concatenate([anchor, features[~is_member]])
+            base = gaussian_mmd(member_set, nonmember_set, self.bandwidth)
+            for i in range(n):
+                if is_member[i]:
+                    # Try moving i out of the member set.
+                    trial_mask = is_member.copy()
+                    trial_mask[i] = False
+                    trial = gaussian_mmd(
+                        features[trial_mask],
+                        np.concatenate([anchor, features[~trial_mask]]),
+                        self.bandwidth,
+                    )
+                    if trial < base - 1e-12 and trial_mask.any():
+                        # Removing a member *decreases* separation -> i was
+                        # pulling the sets apart -> keep it in; otherwise move.
+                        continue
+                    if trial > base + 1e-12 and trial_mask.any():
+                        is_member = trial_mask
+                        base = trial
+                        moved += 1
+                else:
+                    trial_mask = is_member.copy()
+                    trial_mask[i] = True
+                    trial = gaussian_mmd(
+                        features[trial_mask],
+                        np.concatenate([anchor, features[~trial_mask]]),
+                        self.bandwidth,
+                    )
+                    if trial > base + 1e-12:
+                        is_member = trial_mask
+                        base = trial
+                        moved += 1
+            if moved == 0:
+                break
+        # Soft score: distance to the anchor centroid, oriented by the mask.
+        centroid = anchor.mean(axis=0)
+        distance = np.linalg.norm(features - centroid, axis=1)
+        max_distance = distance.max() + 1e-12
+        soft = distance / max_distance / 2.0  # in [0, 0.5]
+        # Members land in [0.5, 1], non-members strictly below 0.5.
+        return np.where(is_member, 0.5 + soft, soft * 0.98)

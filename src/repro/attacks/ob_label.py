@@ -1,0 +1,29 @@
+"""Ob-Label: the label-only attack of Yeom et al. (CSF'18).
+
+Predict *member* iff the target model classifies the sample correctly.  The
+attack exploits the train/test accuracy gap directly and needs only the
+predicted label.  We return a soft score that breaks ties by confidence so
+AUC is meaningful, but the 0.5 threshold reproduces the pure label rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackData, MIAttack, TargetModel
+from repro.data.dataset import Dataset
+
+
+class ObLabelAttack(MIAttack):
+    """Member iff the prediction is correct (Yeom's baseline)."""
+
+    name = "Ob-Label"
+
+    def score(self, target: TargetModel, dataset: Dataset) -> np.ndarray:
+        probabilities = target.predict_proba(dataset.inputs)
+        predicted = probabilities.argmax(axis=1)
+        correct = predicted == dataset.labels
+        confidence = probabilities[np.arange(len(dataset)), dataset.labels]
+        # Correct -> score in [0.5, 1]; incorrect -> [0, 0.5).  Thresholding
+        # at 0.5 is exactly the label rule.
+        return np.where(correct, 0.5 + confidence / 2.0, confidence / 2.0)

@@ -1,0 +1,83 @@
+"""Shadow-model machinery for calibration-free-ish attacks.
+
+Shokri-style attacks do not assume known members of the *target*; the
+adversary trains a **shadow model** on its own data (drawn from the same
+population) and calibrates thresholds / attack classifiers on the shadow
+model's member vs non-member behaviour, then transfers them to the target.
+
+That transfer is exactly what CIP breaks: the shadow model is trained on
+unperturbed data, so its loss scale bears no relation to the loss scale of a
+CIP target queried without ``t`` — thresholds land in the wrong place and
+recall collapses (the paper's Table IV signature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.base import PlainTarget, TargetModel
+from repro.data.dataset import Dataset
+from repro.fl.training import train_supervised
+from repro.nn.layers import Module
+from repro.nn.optim import SGD
+from repro.utils.rng import SeedLike, derive_rng
+
+ModelFactory = Callable[[], Module]
+
+
+@dataclass
+class ShadowConfig:
+    """How the adversary trains its shadow model.
+
+    ``attacker_data`` is the adversary's own sample of the population —
+    ideally comparable in size to the victim's training set so the shadow
+    reaches the same overfitting regime.  When ``None``, the attack falls
+    back to the (smaller) known-non-member pool of its :class:`AttackData`.
+    """
+
+    model_factory: ModelFactory
+    epochs: int = 20
+    lr: float = 5e-2
+    batch_size: int = 32
+    seed: SeedLike = 0
+    attacker_data: Optional[Dataset] = None
+    # Filled by the first train_shadow call so every attack sharing this
+    # config reuses one trained shadow instead of re-training it.
+    _prebuilt: Optional[tuple] = None
+
+
+def train_shadow(
+    fallback_data: Dataset, config: ShadowConfig
+) -> Tuple[TargetModel, Dataset, Dataset]:
+    """Train a shadow model on half the attacker's data.
+
+    Returns ``(shadow_target, shadow_members, shadow_nonmembers)``: the
+    trained shadow wrapped as a queryable target, the half it memorized, and
+    the held-out half.
+    """
+    if config._prebuilt is not None:
+        return config._prebuilt
+    attacker_data = config.attacker_data if config.attacker_data is not None else fallback_data
+    if len(attacker_data) < 4:
+        raise ValueError("attacker needs at least 4 samples to build a shadow")
+    shadow_in, shadow_out = attacker_data.split(0.5, seed=derive_rng(config.seed, "split"))
+    model = config.model_factory()
+    optimizer = SGD(model.parameters(), lr=config.lr, momentum=0.9)
+    for epoch in range(config.epochs):
+        train_supervised(
+            model,
+            shadow_in,
+            optimizer,
+            epochs=1,
+            batch_size=config.batch_size,
+            seed=derive_rng(config.seed, "epoch", epoch),
+        )
+    built = (PlainTarget(model, attacker_data.num_classes), shadow_in, shadow_out)
+    # Only cache on the config when the shadow data came from the config
+    # itself; fallback-pool shadows depend on the caller's AttackData.
+    if config.attacker_data is not None:
+        config._prebuilt = built
+    return built

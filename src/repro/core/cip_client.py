@@ -1,0 +1,104 @@
+"""The CIP federated client.
+
+A :class:`CIPClient` participates in the standard FedAvg protocol — it
+shares and receives *dual-channel model weights* like any other client — but
+trains with the alternating Step-I/Step-II optimization and keeps its
+perturbation ``t`` strictly local.  Personalization of ``t`` is what shifts
+heterogeneous client distributions toward each other (RQ2 / Figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.config import CIPConfig
+from repro.core.perturbation import Perturbation
+from repro.core.trainer import CIPTrainer, evaluate_with_perturbation
+from repro.data.dataset import Dataset
+from repro.fl.client import ClientConfig, ClientUpdate, FLClient
+from repro.fl.training import EvalResult
+from repro.nn.layers import Module
+from repro.nn.optim import SGD
+from repro.nn.serialization import clone_state_dict
+from repro.utils.rng import SeedLike, derive_rng
+
+StateDict = Dict[str, np.ndarray]
+ModelFactory = Callable[[], Module]
+
+
+class CIPClient(FLClient):
+    """FL client running the CIP defense.
+
+    ``model_factory`` must build the dual-channel architecture (see
+    :func:`repro.nn.models.build_model` with ``dual_channel=True``); the
+    factory is shared with the server so aggregation shapes line up.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: Dataset,
+        model_factory: ModelFactory,
+        cip_config: Optional[CIPConfig] = None,
+        config: Optional[ClientConfig] = None,
+        augment: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        seed: SeedLike = None,
+        initial_t: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__(
+            client_id, dataset, model_factory, config=config, augment=augment, seed=seed
+        )
+        self.cip_config = cip_config or CIPConfig()
+        self.perturbation = Perturbation(
+            dataset.input_shape,
+            self.cip_config,
+            seed=derive_rng(seed, "perturbation", client_id),
+            initial=initial_t,
+        )
+        self._trainer = CIPTrainer(
+            self.model,
+            self.perturbation,
+            self._optimizer,
+            config=self.cip_config,
+            augment=augment,
+        )
+
+    # -- FL protocol --------------------------------------------------------
+    def local_update(self) -> ClientUpdate:
+        """One round of alternating Step-I/Step-II training.
+
+        Only the model weights are shared; ``t`` stays on the client.
+        """
+        self._round += 1
+        loss = float("nan")
+        for epoch in range(self.config.local_epochs):
+            loss = self._trainer.train_epoch(
+                self.dataset,
+                batch_size=self.config.batch_size,
+                seed=derive_rng(self._seed, "round", self._round, epoch),
+            )
+        return ClientUpdate(
+            client_id=self.client_id,
+            state=clone_state_dict(self.model.state_dict()),
+            num_samples=len(self.dataset),
+            train_loss=loss,
+        )
+
+    # -- inference ------------------------------------------------------------
+    def evaluate(self, dataset: Dataset) -> EvalResult:
+        """Accuracy with queries blended using this client's secret ``t``."""
+        return evaluate_with_perturbation(
+            self.model,
+            self.perturbation.value,
+            dataset,
+            self.cip_config,
+            batch_size=self.config.batch_size,
+        )
+
+    def evaluate_without_t(self, dataset: Dataset) -> EvalResult:
+        """Accuracy under the zero-perturbation blend (outsider's view)."""
+        return evaluate_with_perturbation(
+            self.model, None, dataset, self.cip_config, batch_size=self.config.batch_size
+        )

@@ -1,0 +1,57 @@
+"""Saving and restoring a client's CIP state.
+
+A deployed CIP client owns two artifacts: the (shared) dual-channel model
+weights and its (secret) perturbation ``t``.  These helpers persist both —
+``t`` stays in the client's own storage and must never be uploaded; the
+separation into two files makes that boundary explicit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.config import CIPConfig
+from repro.core.perturbation import Perturbation
+from repro.nn.layers import Module
+from repro.nn.serialization import load_state_dict, save_state_dict
+
+
+def save_cip_state(
+    model: Module, perturbation: Perturbation, directory: str
+) -> Tuple[str, str]:
+    """Persist model weights and the secret perturbation side by side.
+
+    Returns ``(model_path, secret_path)``.  The secret file also records the
+    :class:`CIPConfig` so the client can resume with identical blending.
+    """
+    os.makedirs(directory, exist_ok=True)
+    model_path = os.path.join(directory, "model.npz")
+    secret_path = os.path.join(directory, "client_secret.npz")
+    save_state_dict(model.state_dict(), model_path)
+    config = perturbation.config
+    config_json = json.dumps(dataclasses.asdict(config))
+    np.savez(secret_path, t=perturbation.value, config=np.frombuffer(
+        config_json.encode("utf-8"), dtype=np.uint8
+    ))
+    return model_path, secret_path
+
+
+def load_cip_state(model: Module, directory: str) -> Perturbation:
+    """Restore weights into ``model`` and return the secret perturbation."""
+    model_path = os.path.join(directory, "model.npz")
+    secret_path = os.path.join(directory, "client_secret.npz")
+    model.load_state_dict(load_state_dict(model_path))
+    with np.load(secret_path) as archive:
+        t_value = archive["t"]
+        config_json = archive["config"].tobytes().decode("utf-8")
+    raw = json.loads(config_json)
+    if raw.get("clip_range") is not None:
+        raw["clip_range"] = tuple(raw["clip_range"])
+    raw.pop("_prebuilt", None)
+    config = CIPConfig(**raw)
+    return Perturbation(tuple(t_value.shape), config, initial=t_value)

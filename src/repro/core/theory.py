@@ -1,0 +1,97 @@
+"""Theoretical analysis of CIP (paper Section III-C).
+
+Implements the quantities of Theorem 1 so they can be checked numerically on
+trained models:
+
+* the membership posterior under the Sablayrolles model-posterior assumption
+  ``Pr(theta | D) ∝ exp(-L/T)`` — loss-based, with temperature ``T``;
+* the *adversarial advantage* ``Adv = Pr(m=1|theta,z) / Pr(m=0|theta,z)``;
+* the Theorem-1 ratio ``eps = exp(-(l(z_t') - l(z_t)) / T)`` bounding the
+  advantage of an attacker guessing a wrong perturbation ``t'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def membership_posterior(
+    loss: np.ndarray, reference_loss: float, temperature: float = 1.0, prior: float = 0.5
+) -> np.ndarray:
+    """``Pr(m = 1 | theta, z)`` under the loss-based posterior model.
+
+    With ``Pr(theta | m=1, z) ∝ exp(-l/T)`` and a member prior ``eta``, Bayes
+    gives ``Pr(m=1|theta,z) = eta e^{-l/T} / (eta e^{-l/T} + (1-eta) e^{-r/T})``
+    where ``r`` is the non-member reference loss level.  This is the Bayes-
+    optimal (Ob-MALT-style) membership score.
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    if not 0.0 < prior < 1.0:
+        raise ValueError("prior must be in (0, 1)")
+    loss = np.asarray(loss, dtype=np.float64)
+    member_weight = prior * np.exp(-(loss - reference_loss) / temperature)
+    return member_weight / (member_weight + (1.0 - prior))
+
+
+def adversarial_advantage(
+    loss: np.ndarray, reference_loss: float, temperature: float = 1.0, prior: float = 0.5
+) -> np.ndarray:
+    """``Adv(theta, z) = Pr(m=1|theta,z) / Pr(m=0|theta,z)`` (Eq. 5)."""
+    posterior = membership_posterior(loss, reference_loss, temperature, prior)
+    return posterior / np.clip(1.0 - posterior, 1e-300, None)
+
+
+def theorem1_epsilon(
+    loss_true_t: np.ndarray, loss_guessed_t: np.ndarray, temperature: float = 1.0
+) -> np.ndarray:
+    """The Theorem-1 ratio ``eps = exp(-(l(z_t') - l(z_t)) / T)``.
+
+    Under the theorem's assumption ``l(z_t) <= l(z_t')`` (the true ``t`` is
+    the one minimized during training), ``eps <= 1``: guessing a wrong
+    perturbation can only *shrink* the adversary's advantage.
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    gap = np.asarray(loss_guessed_t, dtype=np.float64) - np.asarray(
+        loss_true_t, dtype=np.float64
+    )
+    return np.exp(-gap / temperature)
+
+
+@dataclass
+class Theorem1Check:
+    """Numeric verification of Theorem 1 on a trained model."""
+
+    mean_loss_true_t: float
+    mean_loss_guessed_t: float
+    mean_epsilon: float
+    fraction_bounded: float  # fraction of samples with eps <= 1
+    assumption_holds: bool  # mean loss under true t <= under guessed t
+
+    @property
+    def bound_holds_on_average(self) -> bool:
+        return self.mean_epsilon <= 1.0 + 1e-9
+
+
+def check_theorem1(
+    loss_true_t: np.ndarray, loss_guessed_t: np.ndarray, temperature: float = 1.0
+) -> Theorem1Check:
+    """Evaluate the Theorem-1 bound on per-sample losses from a real model.
+
+    ``loss_true_t`` are losses of training samples blended with the true
+    perturbation; ``loss_guessed_t`` the same samples blended with an
+    attacker's guess.
+    """
+    loss_true_t = np.asarray(loss_true_t, dtype=np.float64)
+    loss_guessed_t = np.asarray(loss_guessed_t, dtype=np.float64)
+    eps = theorem1_epsilon(loss_true_t, loss_guessed_t, temperature)
+    return Theorem1Check(
+        mean_loss_true_t=float(loss_true_t.mean()),
+        mean_loss_guessed_t=float(loss_guessed_t.mean()),
+        mean_epsilon=float(eps.mean()),
+        fraction_bounded=float((eps <= 1.0 + 1e-12).mean()),
+        assumption_holds=bool(loss_true_t.mean() <= loss_guessed_t.mean()),
+    )

@@ -1,0 +1,115 @@
+"""Image augmentation (the CIFAR-AUG pipeline).
+
+The paper's CIFAR-AUG setting resizes each image to 80x80, randomly crops to
+64x64, and randomly flips left-right.  We implement the same three transforms
+— resize (bilinear), random crop, horizontal flip — at the reproduction's
+scaled-down geometry, composable via :class:`AugmentationPipeline`.
+
+All transforms operate on NCHW float arrays and take an explicit RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+def resize(images: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Bilinear resize of NCHW images."""
+    batch, channels, in_h, in_w = images.shape
+    if (in_h, in_w) == (height, width):
+        return images
+    # Sample positions in source coordinates (align-corners=False convention).
+    ys = (np.arange(height) + 0.5) * in_h / height - 0.5
+    xs = (np.arange(width) + 0.5) * in_w / width - 0.5
+    ys = np.clip(ys, 0, in_h - 1)
+    xs = np.clip(xs, 0, in_w - 1)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, in_h - 1)
+    x1 = np.minimum(x0 + 1, in_w - 1)
+    wy = (ys - y0)[None, None, :, None]
+    wx = (xs - x0)[None, None, None, :]
+    top = images[:, :, y0][:, :, :, x0] * (1 - wx) + images[:, :, y0][:, :, :, x1] * wx
+    bottom = images[:, :, y1][:, :, :, x0] * (1 - wx) + images[:, :, y1][:, :, :, x1] * wx
+    return top * (1 - wy) + bottom * wy
+
+
+def random_crop(images: np.ndarray, size: int, rng: np.random.Generator) -> np.ndarray:
+    """Random square crop (one offset per image)."""
+    batch, channels, height, width = images.shape
+    if size > height or size > width:
+        raise ValueError("crop size exceeds image size")
+    out = np.empty((batch, channels, size, size), dtype=images.dtype)
+    offsets_y = rng.integers(0, height - size + 1, size=batch)
+    offsets_x = rng.integers(0, width - size + 1, size=batch)
+    for i in range(batch):
+        out[i] = images[i, :, offsets_y[i] : offsets_y[i] + size, offsets_x[i] : offsets_x[i] + size]
+    return out
+
+
+def center_crop(images: np.ndarray, size: int) -> np.ndarray:
+    """Deterministic center crop (used at evaluation time)."""
+    height, width = images.shape[2:]
+    off_y = (height - size) // 2
+    off_x = (width - size) // 2
+    return images[:, :, off_y : off_y + size, off_x : off_x + size]
+
+
+def random_horizontal_flip(
+    images: np.ndarray, rng: np.random.Generator, probability: float = 0.5
+) -> np.ndarray:
+    """Flip each image left-right with the given probability."""
+    flips = rng.random(len(images)) < probability
+    out = images.copy()
+    out[flips] = out[flips, :, :, ::-1]
+    return out
+
+
+class AugmentationPipeline:
+    """Composable train-time augmentation with its own RNG stream.
+
+    The pipeline is a callable ``(batch) -> batch`` so trainers can apply it
+    uniformly; a no-op pipeline (``AugmentationPipeline([])``) is the
+    identity and is what non-augmented datasets use.
+    """
+
+    def __init__(self, transforms: Sequence[Transform], seed: SeedLike = None) -> None:
+        self.transforms: List[Transform] = list(transforms)
+        self._rng = as_generator(seed)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform(images, self._rng)
+        return images
+
+    def __len__(self) -> int:
+        return len(self.transforms)
+
+
+def cifar_aug_pipeline(
+    base_size: int, upscale: int, crop: int, seed: SeedLike = None
+) -> AugmentationPipeline:
+    """The paper's CIFAR-AUG recipe: resize up, random crop, random flip.
+
+    Paper geometry is 32 -> 80 -> 64; the reproduction scales this ratio to
+    the synthetic image size (e.g. 12 -> 16 -> 12).
+    """
+
+    def _resize(images: np.ndarray, _rng: np.random.Generator) -> np.ndarray:
+        return resize(images, upscale, upscale)
+
+    def _crop(images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return random_crop(images, crop, rng)
+
+    def _flip(images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return random_horizontal_flip(images, rng)
+
+    if crop != base_size:
+        raise ValueError("crop size must return images to the model's input size")
+    return AugmentationPipeline([_resize, _crop, _flip], seed=seed)

@@ -1,0 +1,134 @@
+"""Dataset containers and batching.
+
+A :class:`Dataset` here is a pair of aligned arrays (inputs, labels) plus
+metadata.  FL clients, attacks, and the CIP trainer all consume this one
+interface; :class:`DataLoader` provides seeded shuffled mini-batches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+class Dataset:
+    """Aligned (inputs, labels) arrays with class metadata.
+
+    Inputs may be images ``(N, C, H, W)`` or vectors ``(N, F)``; labels are
+    ``(N,)`` integers in ``[0, num_classes)``.
+    """
+
+    def __init__(self, inputs: np.ndarray, labels: np.ndarray, num_classes: int) -> None:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(inputs) != len(labels):
+            raise ValueError("inputs and labels must be the same length")
+        if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+            raise ValueError("labels out of range")
+        self.inputs = inputs
+        self.labels = labels
+        self.num_classes = num_classes
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.inputs[index], self.labels[index]
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        return self.inputs.shape[1:]
+
+    @property
+    def is_image(self) -> bool:
+        return self.inputs.ndim == 4
+
+    def subset(self, indices: Sequence[int]) -> "Dataset":
+        """New dataset holding copies of the selected rows."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(self.inputs[indices].copy(), self.labels[indices].copy(), self.num_classes)
+
+    def shuffled(self, seed: SeedLike = None) -> "Dataset":
+        rng = as_generator(seed)
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    def split(self, fraction: float, seed: SeedLike = None) -> Tuple["Dataset", "Dataset"]:
+        """Random split into (first, second) with ``fraction`` in the first."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        rng = as_generator(seed)
+        order = rng.permutation(len(self))
+        cut = int(round(fraction * len(self)))
+        return self.subset(order[:cut]), self.subset(order[cut:])
+
+    def take(self, n: int) -> "Dataset":
+        """First ``n`` rows (no shuffling)."""
+        return self.subset(np.arange(min(n, len(self))))
+
+    def class_counts(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+    def classes_present(self) -> np.ndarray:
+        return np.unique(self.labels)
+
+    @staticmethod
+    def concatenate(datasets: Sequence["Dataset"]) -> "Dataset":
+        if not datasets:
+            raise ValueError("need at least one dataset")
+        num_classes = datasets[0].num_classes
+        if any(d.num_classes != num_classes for d in datasets):
+            raise ValueError("datasets disagree on num_classes")
+        inputs = np.concatenate([d.inputs for d in datasets], axis=0)
+        labels = np.concatenate([d.labels for d in datasets], axis=0)
+        return Dataset(inputs, labels, num_classes)
+
+
+class DataLoader:
+    """Seeded mini-batch iterator over a :class:`Dataset`.
+
+    Reshuffles every epoch when ``shuffle`` is set; the shuffle stream is
+    owned by the loader so concurrent loaders don't interfere.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        seed: SeedLike = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = as_generator(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                return
+            yield self.dataset.inputs[batch], self.dataset.labels[batch]
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.5, seed: SeedLike = None
+) -> Tuple[Dataset, Dataset]:
+    """Split a dataset into (train, test) — the member/non-member pools."""
+    train, test = dataset.split(1.0 - test_fraction, seed=seed)
+    return train, test

@@ -1,0 +1,43 @@
+"""Baseline defenses the paper compares CIP against (RQ1).
+
+* :mod:`repro.defenses.dp` — DP-SGD / DP-Adam with an RDP accountant, plus
+  the local-DP FL client.
+* :mod:`repro.defenses.hdp` — DP over frozen handcrafted features
+  (Tramer & Boneh).
+* :mod:`repro.defenses.adv_reg` — adversarial regularization (Nasr et al.).
+* :mod:`repro.defenses.mixup_mmd` — Mixup + MMD (Li et al.).
+* :mod:`repro.defenses.relaxloss` — RelaxLoss (Chen et al.).
+"""
+
+from repro.defenses.base import DefenseTrainer, evaluate_defense
+from repro.defenses.dp import (
+    DPClient,
+    DPConfig,
+    DPTrainer,
+    epsilon_for,
+    noise_multiplier_for_epsilon,
+)
+from repro.defenses.hdp import HandcraftedFeatureExtractor, HDPTrainer
+from repro.defenses.adv_reg import AdversarialRegularizationTrainer
+from repro.defenses.mixup_mmd import MixupMMDTrainer, mixup_batch, soft_cross_entropy
+from repro.defenses.relaxloss import RelaxLossTrainer
+from repro.defenses.memguard import MemGuardDefense, label_preservation_rate
+
+__all__ = [
+    "DefenseTrainer",
+    "evaluate_defense",
+    "DPConfig",
+    "DPTrainer",
+    "DPClient",
+    "epsilon_for",
+    "noise_multiplier_for_epsilon",
+    "HandcraftedFeatureExtractor",
+    "HDPTrainer",
+    "AdversarialRegularizationTrainer",
+    "MixupMMDTrainer",
+    "mixup_batch",
+    "soft_cross_entropy",
+    "RelaxLossTrainer",
+    "MemGuardDefense",
+    "label_preservation_rate",
+]

@@ -1,0 +1,140 @@
+"""Adversarial regularization (Nasr et al., CCS'18).
+
+A min-max game: an inference model ``h`` is trained to distinguish training
+members from reference non-members by their posteriors, while the classifier
+is trained to minimize ``CE + lambda * (membership gain of h on members)``.
+``lambda`` controls the privacy level (the paper's Figure-6 sweep).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.dataset import DataLoader, Dataset
+from repro.nn.functional import softmax, one_hot
+from repro.nn.layers import Linear, Module, ReLU, Sequential
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import Adam, SGD
+from repro.nn import tensor as T
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, derive_rng
+
+
+class _InferenceModel(Module):
+    """h(posteriors, one-hot label) -> membership logit."""
+
+    def __init__(self, num_classes: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        self.body = Sequential(
+            Linear(2 * num_classes, 32, seed=derive_rng(seed, "h1")),
+            ReLU(),
+            Linear(32, 1, seed=derive_rng(seed, "h2")),
+        )
+
+    def forward(self, posteriors: Tensor, labels_onehot: Tensor) -> Tensor:
+        combined = T.concatenate([posteriors, labels_onehot], axis=1)
+        return self.body(combined).sigmoid()
+
+
+class AdversarialRegularizationTrainer:
+    """Min-max training with a membership-inference regularizer."""
+
+    def __init__(
+        self,
+        model: Module,
+        num_classes: int,
+        reference: Dataset,
+        lam: float = 1.0,
+        lr: float = 5e-2,
+        attack_lr: float = 1e-2,
+        seed: SeedLike = None,
+    ) -> None:
+        """``reference`` is the defender's pool of known non-members."""
+        if lam < 0:
+            raise ValueError("lambda must be non-negative")
+        self.model = model
+        self.num_classes = num_classes
+        self.reference = reference
+        self.lam = lam
+        self._seed = seed
+        self._optimizer = SGD(model.parameters(), lr=lr, momentum=0.9)
+        self.inference_model = _InferenceModel(num_classes, seed=derive_rng(seed, "inf"))
+        self._attack_optimizer = Adam(self.inference_model.parameters(), lr=attack_lr)
+
+    def _posteriors(self, inputs: np.ndarray) -> Tensor:
+        return softmax(self.model(Tensor(inputs)), axis=-1)
+
+    def _attack_step(self, member_batch, reference_batch) -> None:
+        """Train h: members -> 1, reference non-members -> 0."""
+        m_inputs, m_labels = member_batch
+        r_inputs, r_labels = reference_batch
+        self._attack_optimizer.zero_grad()
+        member_scores = self.inference_model(
+            self._posteriors(m_inputs).detach(),
+            Tensor(one_hot(m_labels, self.num_classes)),
+        )
+        reference_scores = self.inference_model(
+            self._posteriors(r_inputs).detach(),
+            Tensor(one_hot(r_labels, self.num_classes)),
+        )
+        eps = 1e-9
+        loss = -(
+            (member_scores + eps).log().mean()
+            + ((1.0 - reference_scores) + eps).log().mean()
+        )
+        loss.backward()
+        self._attack_optimizer.step()
+
+    def _defense_step(self, member_batch) -> float:
+        """Train the classifier: CE + lambda * log h(member)."""
+        inputs, labels = member_batch
+        self._optimizer.zero_grad()
+        logits = self.model(Tensor(inputs))
+        ce = cross_entropy(logits, labels)
+        posteriors = softmax(logits, axis=-1)
+        scores = self.inference_model(posteriors, Tensor(one_hot(labels, self.num_classes)))
+        gain = (scores + 1e-9).log().mean()
+        loss = ce + self.lam * gain
+        loss.backward()
+        # Only the classifier moves in this step.
+        self.inference_model.zero_grad()
+        self._optimizer.step()
+        return loss.item()
+
+    def train(
+        self, dataset: Dataset, epochs: int, batch_size: int = 32, seed: SeedLike = None
+    ) -> List[float]:
+        losses: List[float] = []
+        for epoch in range(epochs):
+            member_loader = DataLoader(
+                dataset, batch_size=batch_size, shuffle=True, seed=derive_rng(seed, "m", epoch)
+            )
+            reference_loader = DataLoader(
+                self.reference,
+                batch_size=batch_size,
+                shuffle=True,
+                seed=derive_rng(seed, "r", epoch),
+            )
+            epoch_loss = 0.0
+            count = 0
+            reference_iter = iter(reference_loader)
+            for member_batch in member_loader:
+                try:
+                    reference_batch = next(reference_iter)
+                except StopIteration:
+                    reference_iter = iter(
+                        DataLoader(
+                            self.reference,
+                            batch_size=batch_size,
+                            shuffle=True,
+                            seed=derive_rng(seed, "r2", epoch, count),
+                        )
+                    )
+                    reference_batch = next(reference_iter)
+                self._attack_step(member_batch, reference_batch)
+                epoch_loss += self._defense_step(member_batch) * len(member_batch[1])
+                count += len(member_batch[1])
+            losses.append(epoch_loss / max(count, 1))
+        return losses

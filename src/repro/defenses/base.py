@@ -1,0 +1,29 @@
+"""Common surface for baseline defense trainers.
+
+Every baseline defense in the paper's comparison (DP, HDP, AR, MM, RL)
+exposes the same shape: construct with a model + privacy knob, ``train`` on
+a dataset, then hand the model to the attack suite via
+:class:`repro.attacks.PlainTarget`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.data.dataset import Dataset
+from repro.fl.training import EvalResult, evaluate_model
+from repro.nn.layers import Module
+
+
+class DefenseTrainer(Protocol):
+    """Structural type implemented by all baseline defense trainers."""
+
+    model: Module
+
+    def train(self, dataset: Dataset, epochs: int, batch_size: int = 32, seed=None) -> None:
+        ...
+
+
+def evaluate_defense(trainer: "DefenseTrainer", dataset: Dataset) -> EvalResult:
+    """Accuracy of a defense-trained model (plain single-channel queries)."""
+    return evaluate_model(trainer.model, dataset)

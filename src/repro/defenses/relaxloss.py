@@ -1,0 +1,112 @@
+"""RelaxLoss (Chen, Yu & Fritz, ICLR'22).
+
+The defense stops the training loss from collapsing below a target level
+``omega`` (the privacy knob): membership signal comes from members' losses
+being *abnormally low*, so keeping the loss relaxed around ``omega`` removes
+the separation while barely hurting accuracy.
+
+Per mini-batch:
+
+* if the batch loss is above ``omega`` -> normal gradient descent;
+* otherwise -> *posterior flattening*: correctly-classified samples are
+  trained toward softened targets (true class probability pinned near its
+  current confidence, remainder spread uniformly), and the batch takes a
+  gradient-ascent step on the plain loss for the rest — the paper's
+  alternating even/odd-step scheme collapsed into the loss-gated form.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.data.dataset import DataLoader, Dataset
+from repro.nn.functional import log_softmax, one_hot
+from repro.nn.layers import Module
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, derive_rng
+
+
+class RelaxLossTrainer:
+    """Loss-gated training that keeps the mean loss near ``omega``."""
+
+    def __init__(
+        self,
+        model: Module,
+        num_classes: int,
+        omega: float = 0.5,
+        lr: float = 5e-2,
+        seed: SeedLike = None,
+    ) -> None:
+        if omega < 0:
+            raise ValueError("omega must be non-negative")
+        self.model = model
+        self.num_classes = num_classes
+        self.omega = omega
+        # No momentum: RelaxLoss alternates descent/ascent around omega, and
+        # momentum velocity (descent-dominated) would swallow the ascent
+        # steps, letting the loss collapse to zero.
+        self._optimizer = SGD(model.parameters(), lr=lr)
+        self._step_index = 0
+
+    def _flattened_targets(self, logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Soften targets for correct predictions (posterior flattening)."""
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=1, keepdims=True)
+        confidence = probs[np.arange(len(labels)), labels]
+        targets = one_hot(labels, self.num_classes)
+        correct = probs.argmax(axis=1) == labels
+        # For correct samples: true class keeps its current confidence, the
+        # remaining mass is spread uniformly over the other classes.
+        spread = (1.0 - confidence) / max(self.num_classes - 1, 1)
+        soft = np.repeat(spread[:, None], self.num_classes, axis=1)
+        soft[np.arange(len(labels)), labels] = confidence
+        targets[correct] = soft[correct]
+        return targets
+
+    def _step(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        self._optimizer.zero_grad()
+        logits = self.model(Tensor(inputs))
+        loss = cross_entropy(logits, labels)
+        loss_value = loss.item()
+        if loss_value > self.omega:
+            # Normal descent toward omega.
+            loss.backward()
+            self._optimizer.step()
+        else:
+            self._step_index += 1
+            if self._step_index % 2 == 0:
+                # Gradient ascent: push the loss back up toward omega.
+                loss.backward()
+                for param in self.model.parameters():
+                    if param.grad is not None:
+                        param.grad = -param.grad
+                self._optimizer.step()
+            else:
+                # Posterior flattening on softened targets.
+                targets = self._flattened_targets(logits.data, labels)
+                soft_loss = -(log_softmax(logits, axis=-1) * Tensor(targets)).sum(axis=1).mean()
+                soft_loss.backward()
+                self._optimizer.step()
+        return loss_value
+
+    def train(
+        self, dataset: Dataset, epochs: int, batch_size: int = 32, seed: SeedLike = None
+    ) -> List[float]:
+        losses: List[float] = []
+        for epoch in range(epochs):
+            loader = DataLoader(
+                dataset, batch_size=batch_size, shuffle=True, seed=derive_rng(seed, epoch)
+            )
+            self.model.train()
+            epoch_loss = 0.0
+            count = 0
+            for inputs, labels in loader:
+                epoch_loss += self._step(inputs, labels) * len(labels)
+                count += len(labels)
+            losses.append(epoch_loss / max(count, 1))
+        return losses

@@ -1,0 +1,84 @@
+"""Command-line runner for the paper-reproduction experiments.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments table5 fig8 --profile quick
+    python -m repro.experiments --all --profile smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import format_table, get_profile, list_experiments, run_experiment
+from repro.utils.logging import enable_console_logging
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate tables and figures of the CIP paper (DSN'23).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (e.g. table5 fig8); see --list",
+    )
+    parser.add_argument(
+        "--profile",
+        default="quick",
+        choices=("smoke", "quick", "full"),
+        help="execution profile (default: quick)",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write a markdown report of the selected experiments to PATH",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="enable progress logging to stderr"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.verbose:
+        enable_console_logging()
+
+    if args.list:
+        for spec in list_experiments():
+            print(f"{spec.experiment_id:<24} {spec.paper_reference:<22} {spec.title}")
+        return 0
+
+    ids = [spec.experiment_id for spec in list_experiments()] if args.all else args.experiments
+    if not ids:
+        print("nothing to run; pass experiment ids, --all, or --list", file=sys.stderr)
+        return 2
+
+    profile = get_profile(args.profile)
+    if args.report:
+        from repro.experiments.report import generate_report
+
+        text = generate_report(ids, profile)
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.report}")
+        return 0
+    for experiment_id in ids:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, profile)
+        elapsed = time.perf_counter() - start
+        print(format_table(result))
+        print(f"({experiment_id} completed in {elapsed:.1f}s at profile '{profile.name}')")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,235 @@
+"""Ablations of CIP's design choices (DESIGN.md section 5).
+
+Not tables in the paper, but each isolates a mechanism the paper credits:
+
+* **dual vs single channel** — Fig. 3's second channel is motivated by
+  utility: a single-channel model fed only ``(1-a)x + a t`` loses the
+  over-weighted original-sample channel.
+* **lambda_m** — Eq. (4)'s loss-maximization weight: too large invites the
+  inverse-MI attack (Table X's rationale), zero removes the member-loss
+  shaping.
+* **shared vs personalized t** — personalization drives the non-i.i.d.
+  utility gain (RQ2); forcing all clients onto one ``t`` removes it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import evaluate_attack
+from repro.attacks.adaptive import InverseMIAttack
+from repro.attacks.ob_malt import ObMALTAttack
+from repro.core.blending import blend
+from repro.core.cip_client import CIPClient
+from repro.core.perturbation import Perturbation
+from repro.core.trainer import CIPTrainer
+from repro.data.partition import partition_by_classes
+from repro.experiments.common import attack_pools, get_bundle, make_cip_config, train_cip
+from repro.experiments.profiles import Profile
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.fl.client import ClientConfig
+from repro.fl.server import FLServer
+from repro.fl.simulation import FederatedSimulation
+from repro.data.benchmarks import default_training
+from repro.nn.layers import Module
+from repro.nn.losses import cross_entropy
+from repro.nn.models import build_model
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import derive_rng
+
+ABLATION_ALPHA = 0.5
+
+
+class _SingleChannelCIP:
+    """CIP variant feeding only the first blended channel to a plain model."""
+
+    def __init__(self, bundle, profile: Profile, seed: int = 0) -> None:
+        self.config = make_cip_config("cifar100", ABLATION_ALPHA)
+        self.model = build_model(
+            "resnet",
+            bundle.num_classes,
+            in_channels=bundle.train.inputs.shape[1],
+            seed=derive_rng(seed, "sc"),
+        )
+        self.perturbation = Perturbation(
+            bundle.train.input_shape, self.config, seed=derive_rng(seed, "sc-t")
+        )
+        self.optimizer = SGD(self.model.parameters(), lr=5e-2, momentum=0.9)
+        self.bundle = bundle
+
+    def _forward(self, inputs: np.ndarray) -> Tensor:
+        channel_a, _ = blend(
+            inputs, self.perturbation.t.detach(), self.config.alpha, self.config.clip_range
+        )
+        return self.model(channel_a)
+
+    def train(self, epochs: int, seed: int = 0) -> None:
+        from repro.data.dataset import DataLoader
+
+        for epoch in range(epochs):
+            loader = DataLoader(
+                self.bundle.train, batch_size=32, shuffle=True, seed=derive_rng(seed, epoch)
+            )
+            for inputs, labels in loader:
+                # Step I on the single channel.
+                self.model.eval()
+                channel_a, _ = blend(
+                    inputs, self.perturbation.t, self.config.alpha, self.config.clip_range
+                )
+                step1 = cross_entropy(self.model(channel_a), labels)
+                self.perturbation._optimizer.zero_grad()
+                step1.backward()
+                self.perturbation._optimizer.step()
+                self.model.zero_grad()
+                self.model.train()
+                # Step II on the single channel.
+                self.optimizer.zero_grad()
+                loss = cross_entropy(self._forward(inputs), labels)
+                loss.backward()
+                self.optimizer.step()
+
+    def accuracy(self, dataset) -> float:
+        self.model.eval()
+        correct = 0
+        with no_grad():
+            for start in range(0, len(dataset), 64):
+                inputs = dataset.inputs[start : start + 64]
+                labels = dataset.labels[start : start + 64]
+                logits = self._forward(inputs)
+                correct += int((logits.argmax(axis=1) == labels).sum())
+        return correct / len(dataset)
+
+    def target(self) -> "_SingleChannelTarget":
+        return _SingleChannelTarget(self)
+
+
+class _SingleChannelTarget:
+    """Adversary view of the single-channel variant (zero-guess blend)."""
+
+    def __init__(self, defense: "_SingleChannelCIP") -> None:
+        self._defense = defense
+        self.num_classes = defense.bundle.num_classes
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        self._defense.model.eval()
+        outputs = []
+        with no_grad():
+            for start in range(0, len(inputs), 128):
+                chunk = inputs[start : start + 128]
+                channel_a, _ = blend(
+                    chunk, None, self._defense.config.alpha, self._defense.config.clip_range
+                )
+                outputs.append(self._defense.model(channel_a).data)
+        return np.concatenate(outputs, axis=0)
+
+    def per_sample_loss(self, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        from repro.nn.losses import per_sample_cross_entropy
+
+        return per_sample_cross_entropy(self.predict(inputs), labels)
+
+
+@register("ablation_dual_channel", "Dual vs single channel trade-off", "Fig. 3 rationale")
+def ablation_dual_channel(profile: Profile) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="ablation_dual_channel",
+        title="Utility and privacy: dual-channel CIP vs single-channel variant",
+        columns=["variant", "test_acc", "malt_attack_acc"],
+    )
+    bundle = get_bundle("cifar100", profile)
+    recipe = default_training("cifar100")
+    epochs = profile.epochs(recipe.epochs)
+    data = attack_pools(bundle, profile)
+
+    dual = train_cip("cifar100", ABLATION_ALPHA, profile)
+    dual_attack = evaluate_attack(ObMALTAttack(), dual.target(), data)
+    result.add_row(
+        variant="dual_channel",
+        test_acc=dual.trainer.evaluate(bundle.test).accuracy,
+        malt_attack_acc=dual_attack.accuracy,
+    )
+
+    single = _SingleChannelCIP(bundle, profile)
+    single.train(epochs)
+    single_attack = evaluate_attack(ObMALTAttack(), single.target(), data)
+    result.add_row(
+        variant="single_channel",
+        test_acc=single.accuracy(bundle.test),
+        malt_attack_acc=single_attack.accuracy,
+    )
+    result.add_note(
+        "the paper motivates the second channel by utility; measure both axes"
+    )
+    return result
+
+
+@register("ablation_lambda_m", "Effect of the loss-maximization weight", "Eq. 4 / Table X rationale")
+def ablation_lambda_m(profile: Profile) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="ablation_lambda_m",
+        title="lambda_m: utility vs inverse-MI exposure",
+        columns=["lambda_m", "test_acc", "malt_attack_acc", "inverse_mi_acc"],
+    )
+    for lambda_m in (0.0, 1e-6, 1e-1):
+        artifact = train_cip("cifar100", ABLATION_ALPHA, profile, lambda_m=lambda_m)
+        data = attack_pools(artifact.bundle, profile)
+        malt = evaluate_attack(ObMALTAttack(), artifact.target(), data)
+        inverse = evaluate_attack(InverseMIAttack(), artifact.target(), data)
+        result.add_row(
+            lambda_m=f"{lambda_m:.0e}" if lambda_m else "0",
+            test_acc=artifact.trainer.evaluate(artifact.bundle.test).accuracy,
+            malt_attack_acc=malt.accuracy,
+            inverse_mi_acc=inverse.accuracy,
+        )
+    result.add_note("large lambda_m makes original-data loss abnormal -> inverse MI gains")
+    return result
+
+
+@register("ablation_shared_t", "Personalized vs shared perturbation", "RQ2 rationale")
+def ablation_shared_t(profile: Profile) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="ablation_shared_t",
+        title="Non-i.i.d. FL accuracy: per-client t vs one shared t",
+        columns=["variant", "mean_client_test_acc"],
+    )
+    bundle = get_bundle("cifar100", profile)
+    num_clients = 3
+    shards = partition_by_classes(
+        bundle.train, num_clients, classes_per_client=8, seed=derive_rng(0, "abl-p")
+    )
+    config = make_cip_config("cifar100", ABLATION_ALPHA)
+    in_channels = bundle.train.inputs.shape[1]
+    factory = lambda: build_model(  # noqa: E731
+        "resnet", bundle.num_classes, dual_channel=True, in_channels=in_channels,
+        seed=derive_rng(0, "abl-m"),
+    )
+
+    def run(shared: bool) -> float:
+        shared_seed = derive_rng(0, "abl-shared-t")
+        shared_t = (
+            Perturbation(bundle.train.input_shape, config, seed=shared_seed).value
+            if shared
+            else None
+        )
+        clients = [
+            CIPClient(
+                i, shards[i], factory, cip_config=config, config=ClientConfig(lr=5e-2),
+                seed=derive_rng(0, "abl-c", i),
+                initial_t=shared_t,
+            )
+            for i in range(num_clients)
+        ]
+        if shared:
+            # Freeze Step I so every client keeps the identical t.
+            for client in clients:
+                client.perturbation.optimize = lambda *a, **k: float("nan")
+        server = FLServer(factory)
+        simulation = FederatedSimulation(server, clients)
+        simulation.run(profile.fl_rounds)
+        return float(np.mean(simulation.evaluate_clients(bundle.test)))
+
+    result.add_row(variant="personalized_t", mean_client_test_acc=run(shared=False))
+    result.add_row(variant="shared_frozen_t", mean_client_test_acc=run(shared=True))
+    result.add_note("personalized t shifts heterogeneous client distributions together")
+    return result

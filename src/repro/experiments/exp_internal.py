@@ -1,0 +1,324 @@
+"""Figures 4 and 5: internal (malicious-server) adversary comparison.
+
+Figure 4 compares CIP (alpha=0.5), local DP, HDP, and no defense across
+federation sizes on non-i.i.d. synthetic CIFAR-100: test accuracy and the
+passive/active internal attack accuracies.
+
+Figure 5 compares CIP and DP across the three conv architectures and a sweep
+of DP epsilon values with two clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.internal import (
+    ActiveServerAttack,
+    PassiveServerAttack,
+    StateEvaluator,
+    cip_zero_blend_forward,
+    plain_forward,
+)
+from repro.core.cip_client import CIPClient
+from repro.core.config import CIPConfig
+from repro.data.benchmarks import DatasetBundle
+from repro.data.dataset import Dataset
+from repro.data.partition import partition_by_classes
+from repro.defenses.dp import DPClient, DPConfig
+from repro.defenses.hdp import HandcraftedFeatureExtractor
+from repro.experiments.common import get_bundle, make_cip_config
+from repro.experiments.profiles import Profile
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.fl.client import ClientConfig, FLClient
+from repro.fl.server import FLServer
+from repro.fl.simulation import FederatedSimulation
+from repro.fl.training import evaluate_model
+from repro.nn.models import build_model
+from repro.utils.rng import derive_rng
+
+NONIID_CLASSES = 8  # paper: 20 random classes per client out of 100
+FIG4_ALPHA = 0.5
+FIG4_EPSILON = 32.0  # paper compares against DP with large epsilon (128)
+SNAPSHOT_TAIL = 3  # passive server observes the last rounds (paper Table I)
+
+
+@dataclass
+class FederatedRun:
+    """Everything the internal attacks need from one federated training."""
+
+    simulation: FederatedSimulation
+    bundle: DatasetBundle
+    victim_shard: Dataset
+    evaluator: StateEvaluator
+    ascent_model_factory: Callable[[], object]
+    test_accuracy: float
+    is_cip: bool
+    cip_config: Optional[CIPConfig] = None
+
+
+def _train_federation(
+    defense: str,
+    num_clients: int,
+    profile: Profile,
+    architecture: str = "resnet",
+    epsilon: float = FIG4_EPSILON,
+    alpha: float = FIG4_ALPHA,
+    seed: int = 0,
+    dataset: str = "cifar100",
+) -> FederatedRun:
+    """Run one federated training with the requested defense installed."""
+    bundle = get_bundle(dataset, profile, seed)
+    shards = partition_by_classes(
+        bundle.train, num_clients, NONIID_CLASSES, seed=derive_rng(seed, "part", defense)
+    )
+    rounds = profile.fl_rounds
+    in_channels = bundle.train.inputs.shape[1]
+    client_config = ClientConfig(lr=5e-2)
+
+    if defense == "cip":
+        cip_config = make_cip_config(dataset, alpha)
+        factory = lambda: build_model(  # noqa: E731
+            architecture,
+            bundle.num_classes,
+            dual_channel=True,
+            in_channels=in_channels,
+            seed=derive_rng(seed, "m", defense, architecture),
+        )
+        clients: List[FLClient] = [
+            CIPClient(
+                i,
+                shards[i],
+                factory,
+                cip_config=cip_config,
+                config=client_config,
+                seed=derive_rng(seed, "c", i),
+            )
+            for i in range(num_clients)
+        ]
+        forward = cip_zero_blend_forward(cip_config)
+    else:
+        cip_config = None
+        factory = lambda: build_model(  # noqa: E731
+            architecture,
+            bundle.num_classes,
+            in_channels=in_channels,
+            seed=derive_rng(seed, "m", defense, architecture),
+        )
+        forward = plain_forward
+        if defense == "none":
+            clients = [
+                FLClient(i, shards[i], factory, client_config, seed=derive_rng(seed, "c", i))
+                for i in range(num_clients)
+            ]
+        elif defense == "dp":
+            clients = [
+                DPClient(
+                    i,
+                    shards[i],
+                    factory,
+                    DPConfig(epsilon=epsilon, lr=5e-2),
+                    config=client_config,
+                    seed=derive_rng(seed, "c", i),
+                    total_rounds=rounds,
+                )
+                for i in range(num_clients)
+            ]
+        else:
+            raise ValueError(f"unknown defense {defense!r}")
+
+    server = FLServer(factory)
+    snapshot_rounds = range(max(0, rounds - SNAPSHOT_TAIL), rounds)
+    simulation = FederatedSimulation(
+        server, clients, snapshot_rounds=snapshot_rounds
+    )
+    simulation.run(rounds)
+
+    if defense == "cip":
+        accuracies = simulation.evaluate_clients(bundle.test)
+        test_accuracy = float(np.mean(accuracies))
+    else:
+        test_accuracy = evaluate_model(server.model, bundle.test).accuracy
+
+    evaluator = StateEvaluator(factory(), forward=forward)
+    return FederatedRun(
+        simulation=simulation,
+        bundle=bundle,
+        victim_shard=shards[0],
+        evaluator=evaluator,
+        ascent_model_factory=factory,
+        test_accuracy=test_accuracy,
+        is_cip=(defense == "cip"),
+        cip_config=cip_config,
+    )
+
+
+def _hdp_federation(
+    num_clients: int, profile: Profile, epsilon: float, seed: int = 0
+) -> Tuple[float, FederatedRun]:
+    """HDP in FL: shared frozen features, DP-trained linear heads."""
+    bundle = get_bundle("cifar100", profile, seed)
+    in_channels = bundle.train.inputs.shape[1]
+    extractor = HandcraftedFeatureExtractor(
+        in_channels, num_filters=32, seed=derive_rng(seed, "hdp-filters")
+    )
+    train_features = Dataset(
+        extractor.transform(bundle.train.inputs), bundle.train.labels, bundle.num_classes
+    )
+    test_features = Dataset(
+        extractor.transform(bundle.test.inputs), bundle.test.labels, bundle.num_classes
+    )
+    shards = partition_by_classes(
+        train_features, num_clients, NONIID_CLASSES, seed=derive_rng(seed, "hdp-part")
+    )
+    rounds = profile.fl_rounds
+    factory = lambda: build_model(  # noqa: E731
+        "mlp",
+        bundle.num_classes,
+        in_features=extractor.feature_dim,
+        hidden=(32,),
+        seed=derive_rng(seed, "hdp-m"),
+    )
+    clients = [
+        DPClient(
+            i,
+            shards[i],
+            factory,
+            DPConfig(epsilon=epsilon, lr=5e-2, clip_norm=1.0),
+            config=ClientConfig(lr=5e-2),
+            seed=derive_rng(seed, "hdp-c", i),
+            total_rounds=rounds,
+        )
+        for i in range(num_clients)
+    ]
+    server = FLServer(factory)
+    snapshot_rounds = range(max(0, rounds - SNAPSHOT_TAIL), rounds)
+    simulation = FederatedSimulation(server, clients, snapshot_rounds=snapshot_rounds)
+    simulation.run(rounds)
+    test_accuracy = evaluate_model(server.model, test_features).accuracy
+    # The attack surface for HDP lives in feature space: the adversary (the
+    # server) sees the linear head, whose inputs are the public features.
+    from dataclasses import replace
+
+    feature_bundle = replace(bundle, train=train_features, test=test_features)
+    run = FederatedRun(
+        simulation=simulation,
+        bundle=feature_bundle,
+        victim_shard=shards[0],
+        evaluator=StateEvaluator(factory()),
+        ascent_model_factory=factory,
+        test_accuracy=test_accuracy,
+        is_cip=False,
+    )
+    return test_accuracy, run
+
+
+def _internal_attack_accuracies(
+    run: FederatedRun, profile: Profile, seed: int = 0
+) -> Tuple[float, float]:
+    """(passive, active) internal attack accuracy against a finished run."""
+    pool = min(profile.attack_pool // 2, len(run.victim_shard) // 2, len(run.bundle.test) // 2)
+    members = run.victim_shard.shuffled(seed=derive_rng(seed, "am"))
+    nonmembers = run.bundle.test.shuffled(seed=derive_rng(seed, "an"))
+    known_m, eval_m = members.take(2 * pool).split(0.5, seed=derive_rng(seed, "sm"))
+    known_n, eval_n = nonmembers.take(2 * pool).split(0.5, seed=derive_rng(seed, "sn"))
+
+    passive = PassiveServerAttack(run.evaluator, victim_id=0)
+    passive_report = passive.run(
+        run.simulation.history.snapshots, known_m, known_n, eval_m, eval_n
+    )
+
+    active = ActiveServerAttack(
+        run.evaluator,
+        run.ascent_model_factory(),
+        victim_id=0,
+        ascent_lr=5e-2,
+        forward=run.evaluator.forward,
+    )
+    active_report = active.run(
+        run.simulation,
+        members.take(pool),
+        nonmembers.take(pool),
+        attack_rounds=2,
+    )
+    return passive_report.accuracy, active_report.accuracy
+
+
+@register("fig4", "Internal comparison vs number of clients", "Figure 4")
+def fig4(profile: Profile) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title="CIP vs DP vs HDP vs none under an internal adversary",
+        columns=["defense", "clients", "test_acc", "passive_attack_acc", "active_attack_acc"],
+    )
+    for num_clients in profile.client_counts:
+        for defense in ("none", "cip", "dp"):
+            run = _train_federation(defense, num_clients, profile)
+            passive, active = _internal_attack_accuracies(run, profile)
+            result.add_row(
+                defense=defense,
+                clients=num_clients,
+                test_acc=run.test_accuracy,
+                passive_attack_acc=passive,
+                active_attack_acc=active,
+            )
+        test_acc, run = _hdp_federation(num_clients, profile, epsilon=FIG4_EPSILON)
+        passive, active = _internal_attack_accuracies(run, profile)
+        result.add_row(
+            defense="hdp",
+            clients=num_clients,
+            test_acc=test_acc,
+            passive_attack_acc=passive,
+            active_attack_acc=active,
+        )
+    result.add_note("paper: CIP's accuracy tracks/no-defense; DP collapses as clients grow")
+    return result
+
+
+@register("fig5", "Internal comparison across architectures and epsilon", "Figure 5")
+def fig5(profile: Profile) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig5",
+        title="CIP vs DP across model architectures and privacy budgets (2 clients)",
+        columns=["defense", "model", "epsilon", "test_acc", "passive_attack_acc"],
+    )
+    num_clients = 2
+    for architecture in ("vgg", "densenet", "resnet"):
+        run = _train_federation("cip", num_clients, profile, architecture=architecture)
+        passive, _active = _cheap_passive(run, profile)
+        result.add_row(
+            defense="cip",
+            model=architecture,
+            epsilon=float("nan"),
+            test_acc=run.test_accuracy,
+            passive_attack_acc=passive,
+        )
+        for epsilon in profile.epsilons:
+            run = _train_federation(
+                "dp", num_clients, profile, architecture=architecture, epsilon=epsilon
+            )
+            passive, _active = _cheap_passive(run, profile)
+            result.add_row(
+                defense="dp",
+                model=architecture,
+                epsilon=epsilon,
+                test_acc=run.test_accuracy,
+                passive_attack_acc=passive,
+            )
+    result.add_note("paper: DP needs epsilon>=256 to reach half of CIP's accuracy")
+    return result
+
+
+def _cheap_passive(run: FederatedRun, profile: Profile, seed: int = 0) -> Tuple[float, None]:
+    """Passive attack only (figure 5 skips the costly active attack)."""
+    pool = min(profile.attack_pool // 2, len(run.victim_shard) // 2, len(run.bundle.test) // 2)
+    members = run.victim_shard.shuffled(seed=derive_rng(seed, "am"))
+    nonmembers = run.bundle.test.shuffled(seed=derive_rng(seed, "an"))
+    known_m, eval_m = members.take(2 * pool).split(0.5, seed=derive_rng(seed, "sm"))
+    known_n, eval_n = nonmembers.take(2 * pool).split(0.5, seed=derive_rng(seed, "sn"))
+    passive = PassiveServerAttack(run.evaluator, victim_id=0)
+    report = passive.run(run.simulation.history.snapshots, known_m, known_n, eval_m, eval_n)
+    return report.accuracy, None

@@ -1,0 +1,81 @@
+"""Execution profiles: how much compute an experiment run spends.
+
+The paper's experiments train dozens of GPU models; on a CPU NumPy substrate
+every experiment takes a ``Profile`` controlling dataset size, training
+length, and sweep density.  ``QUICK`` keeps the whole benchmark suite within
+tens of minutes while preserving every qualitative result; ``FULL`` runs the
+paper-shaped sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Knobs shared by all experiments."""
+
+    name: str
+    samples_per_class_image: int  # synthetic CIFAR-100 / CH-MNIST size
+    samples_per_class_tabular: int
+    epochs_scale: float  # multiplies the per-dataset calibrated epochs
+    alphas: Tuple[float, ...]  # blending-parameter sweep
+    client_counts: Tuple[int, ...]  # federation sizes (paper: 2,5,10,20,50)
+    fl_rounds: int  # communication rounds per federated run
+    attack_pool: int  # samples per member/non-member pool
+    whitebox_pool: int  # pool size for gradient-based (slow) attacks
+    epsilons: Tuple[float, ...]  # DP budget sweep
+    seeds: Tuple[int, ...] = (0,)
+
+    def epochs(self, base: int) -> int:
+        return max(1, int(round(base * self.epochs_scale)))
+
+
+SMOKE = Profile(
+    name="smoke",
+    samples_per_class_image=3,
+    samples_per_class_tabular=2,
+    epochs_scale=0.15,
+    alphas=(0.5,),
+    client_counts=(2,),
+    fl_rounds=3,
+    attack_pool=20,
+    whitebox_pool=8,
+    epsilons=(8.0,),
+)
+
+QUICK = Profile(
+    name="quick",
+    samples_per_class_image=8,
+    samples_per_class_tabular=6,
+    epochs_scale=0.75,
+    alphas=(0.1, 0.5, 0.9),
+    client_counts=(2, 5),
+    fl_rounds=30,  # CIP federations need ~30 rounds to reach the defended regime
+    attack_pool=80,
+    whitebox_pool=24,
+    epsilons=(2.0, 8.0, 32.0),
+)
+
+FULL = Profile(
+    name="full",
+    samples_per_class_image=12,
+    samples_per_class_tabular=8,
+    epochs_scale=1.0,
+    alphas=(0.1, 0.3, 0.5, 0.7, 0.9),
+    client_counts=(2, 5, 10, 20),
+    fl_rounds=40,
+    attack_pool=120,
+    whitebox_pool=40,
+    epsilons=(1.0, 2.0, 8.0, 16.0, 32.0),
+)
+
+PROFILES = {"smoke": SMOKE, "quick": QUICK, "full": FULL}
+
+
+def get_profile(name: str) -> Profile:
+    if name not in PROFILES:
+        raise ValueError(f"unknown profile {name!r}; choose from {sorted(PROFILES)}")
+    return PROFILES[name]

@@ -1,0 +1,66 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Experiments register themselves with :func:`register`; benches and the
+examples look them up with :func:`run_experiment`.  Importing
+:mod:`repro.experiments` loads every experiment module, so the registry is
+complete after ``import repro.experiments``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.experiments.profiles import Profile, QUICK
+from repro.experiments.results import ExperimentResult
+
+ExperimentFn = Callable[[Profile], ExperimentResult]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registered experiment: its id, paper reference, and runner."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    fn: ExperimentFn
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(
+    experiment_id: str, title: str, paper_reference: str
+) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator registering an experiment runner under ``experiment_id``."""
+
+    def decorate(fn: ExperimentFn) -> ExperimentFn:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = ExperimentSpec(
+            experiment_id=experiment_id,
+            title=title,
+            paper_reference=paper_reference,
+            fn=fn,
+        )
+        return fn
+
+    return decorate
+
+
+def list_experiments() -> List[ExperimentSpec]:
+    return sorted(_REGISTRY.values(), key=lambda spec: spec.experiment_id)
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    if experiment_id not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[experiment_id]
+
+
+def run_experiment(experiment_id: str, profile: Profile = QUICK) -> ExperimentResult:
+    """Run one registered experiment and return its result table."""
+    return get_experiment(experiment_id).fn(profile)

@@ -1,0 +1,53 @@
+"""Federated-learning simulation substrate (FedAvg, per McMahan/Nasr)."""
+
+from repro.fl.aggregation import apply_delta, fedavg, flatten_state, state_delta
+from repro.fl.client import ClientConfig, ClientUpdate, FLClient
+from repro.fl.server import FLServer
+from repro.fl.simulation import FederatedSimulation, FLHistory, RoundSnapshot
+from repro.fl.local import (
+    LocalTrainingResult,
+    remap_to_local_classes,
+    run_local_training,
+)
+from repro.fl.communication import (
+    CommunicationLedger,
+    compare_traffic,
+    round_traffic_bytes,
+    state_dict_bytes,
+)
+from repro.fl.malicious import GradientAscentHook, per_sample_losses_of_state
+from repro.fl.training import (
+    EvalResult,
+    default_forward,
+    evaluate_model,
+    predict_logits,
+    train_supervised,
+)
+
+__all__ = [
+    "fedavg",
+    "state_delta",
+    "apply_delta",
+    "flatten_state",
+    "ClientConfig",
+    "ClientUpdate",
+    "FLClient",
+    "FLServer",
+    "FederatedSimulation",
+    "FLHistory",
+    "RoundSnapshot",
+    "LocalTrainingResult",
+    "remap_to_local_classes",
+    "run_local_training",
+    "CommunicationLedger",
+    "state_dict_bytes",
+    "round_traffic_bytes",
+    "compare_traffic",
+    "GradientAscentHook",
+    "per_sample_losses_of_state",
+    "EvalResult",
+    "default_forward",
+    "evaluate_model",
+    "predict_logits",
+    "train_supervised",
+]

@@ -1,0 +1,68 @@
+"""Model aggregation rules.
+
+The paper uses the averaging aggregation of McMahan et al. (FedAvg): the
+server replaces the global weights by the sample-size-weighted mean of the
+clients' local weights.  Aggregation operates on state dicts so it is
+architecture-agnostic; BatchNorm running statistics are averaged the same
+way, which is the standard FedAvg-with-BN behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+StateDict = Dict[str, np.ndarray]
+
+
+def fedavg(states: Sequence[StateDict], weights: Optional[Sequence[float]] = None) -> StateDict:
+    """Weighted average of state dicts.
+
+    ``weights`` default to uniform; they are normalized internally, so
+    callers may pass raw sample counts.
+    """
+    if not states:
+        raise ValueError("fedavg needs at least one state dict")
+    keys = set(states[0])
+    for state in states[1:]:
+        if set(state) != keys:
+            raise ValueError("state dicts have mismatched keys")
+    if weights is None:
+        weights_arr = np.full(len(states), 1.0 / len(states))
+    else:
+        weights_arr = np.asarray(weights, dtype=np.float64)
+        if len(weights_arr) != len(states):
+            raise ValueError("one weight per state dict required")
+        if (weights_arr < 0).any() or weights_arr.sum() <= 0:
+            raise ValueError("weights must be non-negative and sum to > 0")
+        weights_arr = weights_arr / weights_arr.sum()
+    merged: StateDict = {}
+    for key in states[0]:
+        merged[key] = sum(
+            w * state[key] for w, state in zip(weights_arr, states)
+        ).astype(np.float64)
+    return merged
+
+
+def state_delta(new: StateDict, old: StateDict) -> StateDict:
+    """Per-parameter update ``new - old`` (what a gradient-leakage adversary sees)."""
+    if set(new) != set(old):
+        raise ValueError("state dicts have mismatched keys")
+    return {key: new[key] - old[key] for key in new}
+
+
+def apply_delta(base: StateDict, delta: StateDict, scale: float = 1.0) -> StateDict:
+    """Return ``base + scale * delta``."""
+    if set(base) != set(delta):
+        raise ValueError("state dicts have mismatched keys")
+    return {key: base[key] + scale * delta[key] for key in base}
+
+
+def flatten_state(state: StateDict) -> np.ndarray:
+    """Concatenate all arrays (sorted by key) into one vector.
+
+    Used by parameter-based attacks and by tests asserting aggregation
+    linearity.
+    """
+    return np.concatenate([state[key].reshape(-1) for key in sorted(state)])

@@ -1,0 +1,111 @@
+"""Federated-learning clients.
+
+:class:`FLClient` is the standard (no-defense) participant: it clones the
+broadcast global model, runs local SGD epochs on its private shard, and
+returns its new weights.  Defense clients (CIP in :mod:`repro.core`, DP in
+:mod:`repro.defenses`) subclass it and override :meth:`local_update` or the
+training objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.fl.training import EvalResult, evaluate_model, train_supervised
+from repro.nn.layers import Module
+from repro.nn.optim import SGD
+from repro.nn.serialization import clone_state_dict
+from repro.utils.rng import SeedLike, derive_rng
+
+StateDict = Dict[str, np.ndarray]
+ModelFactory = Callable[[], Module]
+
+
+@dataclass
+class ClientConfig:
+    """Local training hyperparameters (paper Section IV-A defaults)."""
+
+    lr: float = 1e-2
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    batch_size: int = 32
+    local_epochs: int = 1  # paper default: 1 local epoch per round
+
+
+@dataclass
+class ClientUpdate:
+    """What a client sends to the server after a round of local training."""
+
+    client_id: int
+    state: StateDict
+    num_samples: int
+    train_loss: float
+
+
+class FLClient:
+    """A benign FL participant training the plain single-channel model."""
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: Dataset,
+        model_factory: ModelFactory,
+        config: Optional[ClientConfig] = None,
+        augment: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.client_id = client_id
+        self.dataset = dataset
+        self.config = config or ClientConfig()
+        self.augment = augment
+        self._seed = seed
+        self.model = model_factory()
+        self._optimizer = SGD(
+            self.model.parameters(),
+            lr=self.config.lr,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+        self._round = 0
+
+    # -- FL protocol -----------------------------------------------------
+    def receive_global(self, state: StateDict) -> None:
+        """Adopt the server's broadcast weights."""
+        self.model.load_state_dict(state)
+
+    def local_update(self) -> ClientUpdate:
+        """One round of local training; returns the new local weights."""
+        self._round += 1
+        losses = self._train_round()
+        return ClientUpdate(
+            client_id=self.client_id,
+            state=clone_state_dict(self.model.state_dict()),
+            num_samples=len(self.dataset),
+            train_loss=losses[-1],
+        )
+
+    def _train_round(self) -> list:
+        return train_supervised(
+            self.model,
+            self.dataset,
+            self._optimizer,
+            epochs=self.config.local_epochs,
+            batch_size=self.config.batch_size,
+            seed=derive_rng(self._seed, "round", self._round),
+            augment=self.augment,
+        )
+
+    # -- hooks for schedules / evaluation ---------------------------------
+    def set_lr(self, lr: float) -> None:
+        self._optimizer.set_lr(lr)
+
+    def evaluate(self, dataset: Dataset) -> EvalResult:
+        """Evaluate the client's current model on an arbitrary dataset."""
+        return evaluate_model(self.model, dataset, batch_size=self.config.batch_size)
+
+    def evaluate_train(self) -> EvalResult:
+        return self.evaluate(self.dataset)

@@ -1,0 +1,70 @@
+"""Communication-cost accounting for federated runs.
+
+CIP's overhead story (paper RQ5) is about parameters and epochs; in FL both
+translate directly into bytes on the wire: every round each participant
+downloads the global model and uploads its update.  These helpers quantify
+that, letting benches report CIP's communication overhead (the +<1% dense
+head) next to its parameter overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+StateDict = Dict[str, np.ndarray]
+
+
+def state_dict_bytes(state: StateDict) -> int:
+    """Wire size of a state dict (array payloads only, no framing)."""
+    return int(sum(value.nbytes for value in state.values()))
+
+
+def round_traffic_bytes(state: StateDict, participants: int) -> int:
+    """One FedAvg round: each participant downloads + uploads the model."""
+    if participants < 0:
+        raise ValueError("participants must be non-negative")
+    return 2 * participants * state_dict_bytes(state)
+
+
+@dataclass
+class CommunicationLedger:
+    """Accumulates per-round traffic for a federated run."""
+
+    per_round_bytes: List[int] = field(default_factory=list)
+
+    def record_round(self, state: StateDict, participants: int) -> int:
+        traffic = round_traffic_bytes(state, participants)
+        self.per_round_bytes.append(traffic)
+        return traffic
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.per_round_bytes)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.per_round_bytes)
+
+    def total_megabytes(self) -> float:
+        return self.total_bytes / 1e6
+
+
+def compare_traffic(
+    state_a: StateDict, state_b: StateDict, participants: int, rounds: int
+) -> Dict[str, float]:
+    """Relative traffic of two model variants over an identical schedule.
+
+    Returns totals and the percentage overhead of B over A — e.g. the
+    dual-channel (CIP) model vs the legacy one.
+    """
+    total_a = round_traffic_bytes(state_a, participants) * rounds
+    total_b = round_traffic_bytes(state_b, participants) * rounds
+    overhead = 100.0 * (total_b - total_a) / total_a if total_a else 0.0
+    return {
+        "total_bytes_a": float(total_a),
+        "total_bytes_b": float(total_b),
+        "overhead_pct": overhead,
+    }

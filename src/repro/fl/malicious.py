@@ -1,0 +1,116 @@
+"""Malicious-server instrumentation (threat model of Nasr et al.).
+
+The paper's internal adversary is a malicious server, which can:
+
+* **passively** record every client's local model at chosen rounds — the
+  simulation's ``snapshot_rounds`` already captures this; and
+* **actively** tamper with the model it broadcasts to a victim client,
+  running gradient *ascent* on target samples so that members (which the
+  victim will re-fit) become separable from non-members after the victim's
+  next update.
+
+:class:`GradientAscentHook` implements the active tampering as a server
+``broadcast_hook``; the inference logic that consumes the resulting
+observations lives in :mod:`repro.attacks.internal`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.losses import cross_entropy
+from repro.nn.serialization import clone_state_dict
+from repro.nn.tensor import Tensor
+
+StateDict = Dict[str, np.ndarray]
+ForwardFn = Callable[[Module, np.ndarray], Tensor]
+
+
+def _default_forward(model: Module, inputs: np.ndarray) -> Tensor:
+    return model(Tensor(inputs))
+
+
+class GradientAscentHook:
+    """Broadcast hook that raises the loss on target samples before sending.
+
+    Parameters
+    ----------
+    model:
+        A scratch model instance of the global architecture, used to compute
+        gradients of the tampered state (never shared with clients).
+    target_inputs / target_labels:
+        The samples whose membership the server wants to infer.
+    ascent_lr / ascent_steps:
+        Gradient-ascent step size and count per broadcast.
+    victim_id:
+        Only the victim's broadcast is altered; ``None`` alters everyone's
+        (the strongest variant).
+    start_round:
+        Rounds before this pass through untouched (the paper starts the
+        active attack in the last few rounds).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        target_inputs: np.ndarray,
+        target_labels: np.ndarray,
+        ascent_lr: float = 1e-2,
+        ascent_steps: int = 1,
+        victim_id: Optional[int] = None,
+        start_round: int = 0,
+        forward: ForwardFn = _default_forward,
+    ) -> None:
+        self._model = model
+        self.target_inputs = np.asarray(target_inputs)
+        self.target_labels = np.asarray(target_labels, dtype=np.int64)
+        self.ascent_lr = ascent_lr
+        self.ascent_steps = ascent_steps
+        self.victim_id = victim_id
+        self.start_round = start_round
+        self._forward = forward
+        self.tampered_rounds: list = []
+
+    def __call__(self, round_index: int, client_id: int, state: StateDict) -> StateDict:
+        if round_index < self.start_round:
+            return state
+        if self.victim_id is not None and client_id != self.victim_id:
+            return state
+        tampered = clone_state_dict(state)
+        self._model.load_state_dict(tampered)
+        self._model.train()
+        for _ in range(self.ascent_steps):
+            self._model.zero_grad()
+            logits = self._forward(self._model, self.target_inputs)
+            loss = cross_entropy(logits, self.target_labels)
+            loss.backward()
+            for param in self._model.parameters():
+                if param.grad is not None:
+                    # Ascent: step *up* the loss surface on the targets.
+                    param.data = param.data + self.ascent_lr * param.grad
+        self.tampered_rounds.append(round_index)
+        return clone_state_dict(self._model.state_dict())
+
+
+def per_sample_losses_of_state(
+    model: Module,
+    state: StateDict,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    forward: ForwardFn = _default_forward,
+) -> np.ndarray:
+    """Per-sample cross-entropy of an arbitrary state dict on given samples.
+
+    The passive malicious server applies this to each snapshot it recorded.
+    """
+    from repro.nn.losses import per_sample_cross_entropy
+    from repro.nn.tensor import no_grad
+
+    model.load_state_dict(state)
+    model.eval()
+    with no_grad():
+        logits = forward(model, inputs)
+    return per_sample_cross_entropy(logits.data, labels)

@@ -1,0 +1,56 @@
+"""The FL parameter server.
+
+Holds the canonical global model, aggregates client updates with FedAvg, and
+exposes a ``broadcast_hook`` so the malicious-server attacks of Nasr et al.
+(see :mod:`repro.fl.malicious`) can tamper with what a victim client receives
+without changing the honest code path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fl.aggregation import fedavg
+from repro.fl.client import ClientUpdate, ModelFactory
+from repro.nn.layers import Module
+from repro.nn.serialization import clone_state_dict
+
+StateDict = Dict[str, np.ndarray]
+BroadcastHook = Callable[[int, int, StateDict], StateDict]
+
+
+class FLServer:
+    """FedAvg parameter server."""
+
+    def __init__(self, model_factory: ModelFactory) -> None:
+        self.model: Module = model_factory()
+        self._round = 0
+        self.broadcast_hook: Optional[BroadcastHook] = None
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def global_state(self) -> StateDict:
+        return clone_state_dict(self.model.state_dict())
+
+    def broadcast(self, client_id: int) -> StateDict:
+        """State sent to one client this round (hook may tamper with it)."""
+        state = self.global_state()
+        if self.broadcast_hook is not None:
+            state = self.broadcast_hook(self._round, client_id, state)
+        return state
+
+    def aggregate(self, updates: Sequence[ClientUpdate]) -> StateDict:
+        """FedAvg the round's client updates into the global model."""
+        if not updates:
+            raise ValueError("no updates to aggregate")
+        merged = fedavg(
+            [update.state for update in updates],
+            weights=[update.num_samples for update in updates],
+        )
+        self.model.load_state_dict(merged)
+        self._round += 1
+        return merged

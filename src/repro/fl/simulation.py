@@ -1,0 +1,179 @@
+"""Federated training orchestration.
+
+:class:`FederatedSimulation` runs the synchronous FedAvg protocol of the
+paper: every round the server broadcasts, every client trains locally for
+``local_epochs``, and the server aggregates.  The simulation records the
+history the evaluation needs:
+
+* per-round, per-client training losses — the inputs to the Figure 7 EMD
+  analysis;
+* snapshots of client updates and global states at requested rounds — what a
+  *passive* malicious server observes (Nasr et al.), consumed by the internal
+  attacks in :mod:`repro.attacks.internal`;
+* per-round global test accuracy when an evaluation set is provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.server import FLServer
+from repro.fl.training import evaluate_model
+from repro.nn.optim import StepDecaySchedule
+from repro.nn.serialization import clone_state_dict
+from repro.utils.logging import get_logger
+
+StateDict = Dict[str, np.ndarray]
+_log = get_logger("fl.simulation")
+
+
+@dataclass
+class RoundSnapshot:
+    """Everything a passive malicious server sees in one recorded round."""
+
+    round_index: int
+    global_state_before: StateDict
+    client_states: Dict[int, StateDict]
+    global_state_after: StateDict
+
+
+@dataclass
+class FLHistory:
+    """Record of a federated run."""
+
+    train_losses: List[Dict[int, float]] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+    snapshots: List[RoundSnapshot] = field(default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.train_losses)
+
+    def client_loss_series(self, client_id: int) -> np.ndarray:
+        """This client's training-loss trajectory over the rounds it joined.
+
+        With partial participation, rounds the client sat out are skipped.
+        """
+        return np.array(
+            [
+                round_losses[client_id]
+                for round_losses in self.train_losses
+                if client_id in round_losses
+            ]
+        )
+
+    def final_test_accuracy(self) -> float:
+        return self.test_accuracy[-1] if self.test_accuracy else float("nan")
+
+
+class FederatedSimulation:
+    """Synchronous FedAvg simulation over a fixed client population."""
+
+    def __init__(
+        self,
+        server: FLServer,
+        clients: Sequence[FLClient],
+        eval_dataset: Optional[Dataset] = None,
+        eval_every: int = 0,
+        snapshot_rounds: Sequence[int] = (),
+        lr_schedule: Optional[StepDecaySchedule] = None,
+        clients_per_round: Optional[int] = None,
+        sampling_seed: Optional[int] = None,
+    ) -> None:
+        """``clients_per_round`` enables partial participation: each round a
+        uniform random subset of that size trains; the rest sit out (the
+        cross-device FedAvg setting).  ``None`` means full participation
+        (the paper's cross-silo setting)."""
+        if not clients:
+            raise ValueError("simulation needs at least one client")
+        if clients_per_round is not None and not 1 <= clients_per_round <= len(clients):
+            raise ValueError("clients_per_round must be in [1, len(clients)]")
+        self.server = server
+        self.clients = list(clients)
+        self.eval_dataset = eval_dataset
+        self.eval_every = eval_every
+        self.snapshot_rounds = set(snapshot_rounds)
+        self.lr_schedule = lr_schedule
+        self.clients_per_round = clients_per_round
+        self._sampling_rng = np.random.default_rng(sampling_seed)
+        self.history = FLHistory()
+
+    def _select_participants(self) -> List[FLClient]:
+        if self.clients_per_round is None:
+            return self.clients
+        picks = self._sampling_rng.choice(
+            len(self.clients), size=self.clients_per_round, replace=False
+        )
+        return [self.clients[i] for i in sorted(picks)]
+
+    def run(self, rounds: int) -> FLHistory:
+        """Run ``rounds`` communication rounds, extending the history."""
+        for _ in range(rounds):
+            self.run_round()
+        return self.history
+
+    def run_round(self) -> List[ClientUpdate]:
+        """One synchronous round: broadcast -> local train -> aggregate."""
+        round_index = self.server.round
+        record = round_index in self.snapshot_rounds
+        before = self.server.global_state() if record else None
+
+        updates: List[ClientUpdate] = []
+        round_losses: Dict[int, float] = {}
+        for client in self._select_participants():
+            client.receive_global(self.server.broadcast(client.client_id))
+            update = client.local_update()
+            updates.append(update)
+            round_losses[client.client_id] = update.train_loss
+        after = self.server.aggregate(updates)
+        self.history.train_losses.append(round_losses)
+
+        if record:
+            assert before is not None
+            self.history.snapshots.append(
+                RoundSnapshot(
+                    round_index=round_index,
+                    global_state_before=before,
+                    client_states={u.client_id: clone_state_dict(u.state) for u in updates},
+                    global_state_after=clone_state_dict(after),
+                )
+            )
+
+        if self.lr_schedule is not None:
+            lr = self.lr_schedule.step()
+            for client in self.clients:
+                client.set_lr(lr)
+
+        if (
+            self.eval_dataset is not None
+            and self.eval_every > 0
+            and self.server.round % self.eval_every == 0
+        ):
+            result = evaluate_model(self.server.model, self.eval_dataset)
+            self.history.test_accuracy.append(result.accuracy)
+            _log.info(
+                "round %d: test acc %.4f", self.server.round, result.accuracy
+            )
+        return updates
+
+    def evaluate_global(self, dataset: Dataset):
+        """Evaluate the current global model (used for final reporting)."""
+        return evaluate_model(self.server.model, dataset)
+
+    def evaluate_clients(self, dataset: Dataset) -> List[float]:
+        """Each client's accuracy on ``dataset`` using its *own* view.
+
+        Standard clients all evaluate the same global model; CIP clients
+        blend the evaluation inputs with their private perturbation, so this
+        is the per-client accuracy the paper reports.
+        """
+        accuracies = []
+        for client in self.clients:
+            client.receive_global(self.server.global_state())
+            accuracies.append(client.evaluate(dataset).accuracy)
+        return accuracies

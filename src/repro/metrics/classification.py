@@ -1,0 +1,98 @@
+"""Binary-attack classification metrics (Table IV columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """Precision / recall / F1 / accuracy of a membership predictor."""
+
+    precision: float
+    recall: float
+    f1: float
+    accuracy: float
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    def as_row(self) -> dict:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "accuracy": self.accuracy,
+        }
+
+
+def binary_metrics(predictions: np.ndarray, labels: np.ndarray) -> BinaryMetrics:
+    """Compute attack metrics; ``labels`` use 1 = member, 0 = non-member."""
+    predictions = np.asarray(predictions).astype(bool)
+    labels = np.asarray(labels).astype(bool)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must align")
+    tp = int(np.sum(predictions & labels))
+    fp = int(np.sum(predictions & ~labels))
+    tn = int(np.sum(~predictions & ~labels))
+    fn = int(np.sum(~predictions & labels))
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    total = tp + fp + tn + fn
+    accuracy = (tp + tn) / total if total else 0.0
+    return BinaryMetrics(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        accuracy=accuracy,
+        true_positives=tp,
+        false_positives=fp,
+        true_negatives=tn,
+        false_negatives=fn,
+    )
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the rank statistic (ties handled)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    positives = scores[labels]
+    negatives = scores[~labels]
+    if len(positives) == 0 or len(negatives) == 0:
+        return 0.5
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    ranks[order] = np.arange(1, len(scores) + 1)
+    # Average ranks over ties.
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + 1 + j + 1) / 2.0
+        i = j + 1
+    rank_sum = ranks[labels].sum()
+    n_pos, n_neg = len(positives), len(negatives)
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def best_threshold_accuracy(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Best achievable accuracy of ``score >= threshold`` over all thresholds.
+
+    MI papers commonly report the oracle-threshold attack accuracy; this is
+    the balanced "strongest thresholding adversary" number.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    candidates = np.unique(scores)
+    best = max(labels.mean(), 1 - labels.mean())  # trivial all-one/all-zero
+    for threshold in candidates:
+        accuracy = ((scores >= threshold) == labels).mean()
+        best = max(best, float(accuracy))
+    return float(best)

@@ -1,0 +1,49 @@
+"""Earth-Mover Distance utilities (paper Figure 7).
+
+The paper quantifies inter-client heterogeneity by the EMD between clients'
+training-loss distributions recorded over all rounds.  For 1-D empirical
+distributions the EMD (1-Wasserstein distance) is the integral of the
+absolute difference of the CDFs, computed exactly from sorted samples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def emd_1d(samples_a: np.ndarray, samples_b: np.ndarray) -> float:
+    """Exact 1-Wasserstein distance between two empirical distributions."""
+    a = np.sort(np.asarray(samples_a, dtype=np.float64))
+    b = np.sort(np.asarray(samples_b, dtype=np.float64))
+    if len(a) == 0 or len(b) == 0:
+        raise ValueError("both sample sets must be non-empty")
+    if len(a) == len(b):
+        return float(np.abs(a - b).mean())
+    # General case: integrate |F_a - F_b| over the merged support.
+    support = np.concatenate([a, b])
+    support.sort(kind="mergesort")
+    deltas = np.diff(support)
+    cdf_a = np.searchsorted(a, support[:-1], side="right") / len(a)
+    cdf_b = np.searchsorted(b, support[:-1], side="right") / len(b)
+    return float(np.sum(np.abs(cdf_a - cdf_b) * deltas))
+
+
+def pairwise_mean_emd(series: Sequence[np.ndarray]) -> float:
+    """Average EMD over all pairs of clients' loss trajectories.
+
+    This is the Figure-7 statistic: each element of ``series`` is one
+    client's per-round training losses; the result is the mean EMD over all
+    client pairs.
+    """
+    series = [np.asarray(s, dtype=np.float64) for s in series]
+    if len(series) < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i in range(len(series)):
+        for j in range(i + 1, len(series)):
+            total += emd_1d(series[i], series[j])
+            pairs += 1
+    return total / pairs

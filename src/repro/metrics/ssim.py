@@ -1,0 +1,62 @@
+"""Structural similarity (SSIM).
+
+The Knowledge-1 adaptive attack (paper Table VIII) sweeps the SSIM between
+the attacker's perturbation seed and the client's; Knowledge-3 reports the
+SSIM between the true ``t`` and the substitute ``t'``.  This is the standard
+global SSIM with the usual constants, applied per channel and averaged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ssim(image_a: np.ndarray, image_b: np.ndarray, data_range: float = 1.0) -> float:
+    """Global SSIM between two arrays of the same shape.
+
+    Works for images (C, H, W) and plain vectors alike: statistics are taken
+    over all elements, which is the coarse single-window variant — adequate
+    for comparing perturbation seeds.
+    """
+    a = np.asarray(image_a, dtype=np.float64)
+    b = np.asarray(image_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("inputs must have the same shape")
+    c1 = (0.01 * data_range) ** 2
+    c2 = (0.03 * data_range) ** 2
+    mu_a, mu_b = a.mean(), b.mean()
+    var_a, var_b = a.var(), b.var()
+    cov = ((a - mu_a) * (b - mu_b)).mean()
+    numerator = (2 * mu_a * mu_b + c1) * (2 * cov + c2)
+    denominator = (mu_a**2 + mu_b**2 + c1) * (var_a + var_b + c2)
+    return float(numerator / denominator)
+
+
+def blend_seeds_to_target_ssim(
+    seed_image: np.ndarray,
+    noise_image: np.ndarray,
+    target: float,
+    tolerance: float = 0.02,
+    max_iterations: int = 60,
+) -> np.ndarray:
+    """Mix ``seed_image`` with independent noise until SSIM(result, seed) ≈ target.
+
+    Bisection over the mixing weight; used to construct the Table-VIII sweep
+    of attacker seeds at controlled similarity to the client's seed.
+    """
+    if not 0.0 < target <= 1.0:
+        raise ValueError("target SSIM must be in (0, 1]")
+    lo, hi = 0.0, 1.0  # weight of the true seed
+    best = noise_image
+    for _ in range(max_iterations):
+        mid = (lo + hi) / 2.0
+        candidate = mid * seed_image + (1.0 - mid) * noise_image
+        value = ssim(candidate, seed_image)
+        best = candidate
+        if abs(value - target) <= tolerance:
+            return candidate
+        if value < target:
+            lo = mid
+        else:
+            hi = mid
+    return best

@@ -1,0 +1,89 @@
+"""Transformer building blocks: LayerNorm and multi-head self-attention.
+
+The paper's dual-channel architecture is backbone-agnostic — Section III-A
+explicitly lists vision transformers alongside ConvNets — so the model zoo
+includes a mini ViT (:class:`repro.nn.models.vit.MiniViTBackbone`) built on
+these blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import tensor as T
+from repro.nn.functional import softmax
+from repro.nn.layers import Linear, Module, Parameter
+from repro.nn import init as initializers
+from repro.utils.rng import SeedLike, derive_rng
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, normalized_dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.normalized_dim = normalized_dim
+        self.eps = eps
+        self.weight = Parameter(initializers.ones((normalized_dim,)))
+        self.bias = Parameter(initializers.zeros((normalized_dim,)))
+
+    def forward(self, x):
+        if x.shape[-1] != self.normalized_dim:
+            raise ValueError(
+                f"LayerNorm expects last dim {self.normalized_dim}, got {x.shape[-1]}"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + self.eps).sqrt()
+        return normalized * self.weight + self.bias
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled-dot-product self-attention over (N, S, D) sequences."""
+
+    def __init__(self, dim: int, num_heads: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.qkv = Linear(dim, 3 * dim, seed=derive_rng(seed, "qkv"))
+        self.out = Linear(dim, dim, seed=derive_rng(seed, "out"))
+
+    def forward(self, x):
+        batch, seq, dim = x.shape
+        qkv = self.qkv(x.reshape(batch * seq, dim)).reshape(
+            batch, seq, 3, self.num_heads, self.head_dim
+        )
+        # -> (3, N, H, S, Hd)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (N, H, S, S)
+        weights = softmax(scores, axis=-1)
+        context = weights @ v  # (N, H, S, Hd)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch * seq, dim)
+        return self.out(merged).reshape(batch, seq, dim)
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer encoder block: MSA + MLP with residuals."""
+
+    def __init__(
+        self, dim: int, num_heads: int, mlp_ratio: float = 2.0, seed: SeedLike = None
+    ) -> None:
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.attention = MultiHeadSelfAttention(dim, num_heads, seed=derive_rng(seed, "attn"))
+        self.norm2 = LayerNorm(dim)
+        hidden = int(dim * mlp_ratio)
+        self.fc1 = Linear(dim, hidden, seed=derive_rng(seed, "fc1"))
+        self.fc2 = Linear(hidden, dim, seed=derive_rng(seed, "fc2"))
+
+    def forward(self, x):
+        x = x + self.attention(self.norm1(x))
+        batch, seq, dim = x.shape
+        hidden = self.fc2(self.fc1(self.norm2(x).reshape(batch * seq, dim)).relu())
+        return x + hidden.reshape(batch, seq, dim)

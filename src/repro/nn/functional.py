@@ -1,0 +1,262 @@
+"""Differentiable neural-network operations built on :class:`~repro.nn.tensor.Tensor`.
+
+Convolution and pooling are implemented with im2col/col2im so the heavy
+lifting happens inside a single BLAS matmul per layer — the only way a NumPy
+conv net stays usable on CPU.  All layouts are NCHW.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, is_grad_enabled
+
+
+# ----------------------------------------------------------------------
+# im2col machinery
+# ----------------------------------------------------------------------
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    images: np.ndarray, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold NCHW images into a ``(N*OH*OW, C*KH*KW)`` matrix.
+
+    Returns the matrix and the output spatial size ``(OH, OW)``.
+    """
+    batch, channels, height, width = images.shape
+    out_h = _conv_output_size(height, kernel, stride, padding)
+    out_w = _conv_output_size(width, kernel, stride, padding)
+    if padding > 0:
+        images = np.pad(
+            images, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        )
+    # Strided sliding-window view: (N, C, OH, OW, KH, KW)
+    strides = images.strides
+    view = np.lib.stride_tricks.as_strided(
+        images,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # -> (N, OH, OW, C, KH, KW) -> (N*OH*OW, C*KH*KW)
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch * out_h * out_w, channels * kernel * kernel
+    )
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold a ``(N*OH*OW, C*KH*KW)`` matrix back into NCHW images (adjoint of im2col)."""
+    batch, channels, height, width = image_shape
+    out_h = _conv_output_size(height, kernel, stride, padding)
+    out_w = _conv_output_size(width, kernel, stride, padding)
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=cols.dtype
+    )
+    cols6 = cols.reshape(batch, out_h, out_w, channels, kernel, kernel).transpose(
+        0, 3, 1, 2, 4, 5
+    )
+    for kh in range(kernel):
+        h_end = kh + stride * out_h
+        for kw in range(kernel):
+            w_end = kw + stride * out_w
+            padded[:, :, kh:h_end:stride, kw:w_end:stride] += cols6[:, :, :, :, kh, kw]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+# ----------------------------------------------------------------------
+# Convolution
+# ----------------------------------------------------------------------
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution. ``x``: (N,C,H,W); ``weight``: (O,C,K,K); ``bias``: (O,)."""
+    out_channels, in_channels, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {x.shape[1]} channels but weight expects {in_channels}"
+        )
+    batch = x.shape[0]
+    cols, (out_h, out_w) = im2col(x.data, kernel, stride, padding)
+    w_mat = weight.data.reshape(out_channels, -1)  # (O, C*K*K)
+    out_mat = cols @ w_mat.T  # (N*OH*OW, O)
+    if bias is not None:
+        out_mat = out_mat + bias.data
+    out_data = out_mat.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+        if weight.requires_grad:
+            weight._accumulate((grad_mat.T @ cols).reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_mat.sum(axis=0))
+        if x.requires_grad:
+            grad_cols = grad_mat @ w_mat  # (N*OH*OW, C*K*K)
+            x._accumulate(col2im(grad_cols, x.shape, kernel, stride, padding))
+
+    return x._make(out_data, parents, backward, "conv2d")
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling with square windows (no padding)."""
+    stride = stride or kernel
+    batch, channels, height, width = x.shape
+    out_h = _conv_output_size(height, kernel, stride, 0)
+    out_w = _conv_output_size(width, kernel, stride, 0)
+    strides = x.data.strides
+    view = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    windows = view.reshape(batch, channels, out_h, out_w, kernel * kernel)
+    arg = windows.argmax(axis=-1)
+    out_data = np.take_along_axis(windows, arg[..., None], axis=-1)[..., 0]
+
+    def backward(grad: np.ndarray) -> None:
+        grad_windows = np.zeros(
+            (batch, channels, out_h, out_w, kernel * kernel), dtype=np.float64
+        )
+        np.put_along_axis(grad_windows, arg[..., None], grad[..., None], axis=-1)
+        grad_windows = grad_windows.reshape(batch, channels, out_h, out_w, kernel, kernel)
+        full = np.zeros(x.shape, dtype=np.float64)
+        for kh in range(kernel):
+            for kw in range(kernel):
+                full[:, :, kh : kh + stride * out_h : stride, kw : kw + stride * out_w : stride] += grad_windows[
+                    :, :, :, :, kh, kw
+                ]
+        x._accumulate(full)
+
+    return x._make(out_data, (x,), backward, "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling with square windows (no padding)."""
+    stride = stride or kernel
+    batch, channels, height, width = x.shape
+    out_h = _conv_output_size(height, kernel, stride, 0)
+    out_w = _conv_output_size(width, kernel, stride, 0)
+    strides = x.data.strides
+    view = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    out_data = view.mean(axis=(4, 5))
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros(x.shape, dtype=np.float64)
+        scaled = grad * scale
+        for kh in range(kernel):
+            for kw in range(kernel):
+                full[:, :, kh : kh + stride * out_h : stride, kw : kw + stride * out_w : stride] += scaled
+        x._accumulate(full)
+
+    return x._make(out_data, (x,), backward, "avg_pool2d")
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Global average pooling: (N,C,H,W) -> (N,C)."""
+    return x.mean(axis=(2, 3))
+
+
+# ----------------------------------------------------------------------
+# Softmax / log-softmax / one-hot
+# ----------------------------------------------------------------------
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax with a fused backward pass."""
+    shifted = logits.data - logits.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    softmax_data = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        logits._accumulate(grad - softmax_data * grad.sum(axis=axis, keepdims=True))
+
+    return logits._make(out_data, (logits,), backward, "log_softmax")
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax with a fused backward pass."""
+    shifted = logits.data - logits.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        inner = (grad * out_data).sum(axis=axis, keepdims=True)
+        logits._accumulate(out_data * (grad - inner))
+
+    return logits._make(out_data, (logits,), backward, "softmax")
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Plain (non-differentiable) one-hot encoding of an int label vector."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
+        raise ValueError("labels out of range for one_hot")
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: scales at train time so inference is identity."""
+    if not training or rate <= 0.0:
+        return x
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("dropout rate must be in [0, 1)")
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep) / keep
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return x._make(x.data * mask, (x,), backward, "dropout")

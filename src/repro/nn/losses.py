@@ -1,0 +1,94 @@
+"""Loss functions.
+
+Cross-entropy is the loss used throughout the paper — both in the standard FL
+training and in both CIP objectives (Eq. 3 and Eq. 4).  ``cross_entropy``
+fuses log-softmax and NLL and exposes a per-sample variant because MI attacks
+(Ob-Label, Ob-MALT, inverse-MI) all threshold *per-sample* losses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, one_hot
+from repro.nn.tensor import Tensor
+
+
+def cross_entropy(
+    logits: Tensor,
+    labels: np.ndarray,
+    reduction: str = "mean",
+    weights: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Softmax cross-entropy from raw logits.
+
+    Parameters
+    ----------
+    logits:
+        (N, C) unnormalized scores.
+    labels:
+        (N,) integer class labels.
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"`` (per-sample losses).
+    weights:
+        Optional (N,) per-sample weights applied before reduction.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("cross_entropy expects (N, C) logits")
+    if labels.shape[0] != logits.shape[0]:
+        raise ValueError("labels and logits batch sizes differ")
+    log_probs = log_softmax(logits, axis=-1)
+    hot = one_hot(labels, logits.shape[1])
+    per_sample = -(log_probs * hot).sum(axis=1)
+    if weights is not None:
+        per_sample = per_sample * np.asarray(weights, dtype=np.float64)
+    return _reduce(per_sample, reduction)
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood from log-probabilities."""
+    labels = np.asarray(labels, dtype=np.int64)
+    hot = one_hot(labels, log_probs.shape[1])
+    per_sample = -(log_probs * hot).sum(axis=1)
+    return _reduce(per_sample, reduction)
+
+
+def mse_loss(
+    predictions: Tensor, targets: Union[Tensor, np.ndarray], reduction: str = "mean"
+) -> Tensor:
+    """Mean squared error (used by the toy linear-regression motivation)."""
+    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
+    diff = predictions - targets
+    per_element = diff * diff
+    return _reduce(per_element, reduction)
+
+
+def l1_norm(tensor: Tensor) -> Tensor:
+    """L1 magnitude ``|t|_1`` — the perturbation regularizer of Eq. (3)."""
+    return tensor.abs().sum()
+
+
+def _reduce(values: Tensor, reduction: str) -> Tensor:
+    if reduction == "mean":
+        return values.mean()
+    if reduction == "sum":
+        return values.sum()
+    if reduction == "none":
+        return values
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def per_sample_cross_entropy(logits_data: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Non-differentiable per-sample cross-entropy on raw arrays.
+
+    Used inside attacks (which never need gradients of the loss wrt inputs)
+    to avoid building autograd graphs on large attack datasets.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    shifted = logits_data - logits_data.max(axis=1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - log_z
+    return -log_probs[np.arange(labels.shape[0]), labels]

@@ -1,0 +1,112 @@
+"""Mini DenseNet backbone.
+
+Keeps the defining mechanism of DenseNet — each layer receives the channel
+concatenation of all previous layers' outputs within a dense block, with
+1x1-conv + pooling transition layers between blocks — at CPU-friendly scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.nn import tensor as T
+from repro.nn.layers import AvgPool2d, BatchNorm2d, Conv2d, Module, ReLU, Sequential
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, derive_rng
+
+
+class DenseLayer(Module):
+    """BN-ReLU-Conv layer producing ``growth_rate`` new channels."""
+
+    def __init__(self, in_channels: int, growth_rate: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        self.bn = BatchNorm2d(in_channels)
+        self.conv = Conv2d(
+            in_channels, growth_rate, kernel_size=3, padding=1, bias=False, seed=seed
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.conv(self.bn(x).relu())
+
+
+class DenseBlock(Module):
+    """Dense connectivity: layer i consumes the concat of all prior outputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        growth_rate: int,
+        num_layers: int,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self._layers: List[DenseLayer] = []
+        channels = in_channels
+        for index in range(num_layers):
+            layer = DenseLayer(channels, growth_rate, seed=derive_rng(seed, "dense", index))
+            setattr(self, f"layer{index}", layer)
+            self._layers.append(layer)
+            channels += growth_rate
+        self.out_channels = channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        features = x
+        for layer in self._layers:
+            new = layer(features)
+            features = T.concatenate([features, new], axis=1)
+        return features
+
+
+class Transition(Module):
+    """1x1 conv halving channels followed by 2x2 average pooling."""
+
+    def __init__(self, in_channels: int, out_channels: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        self.bn = BatchNorm2d(in_channels)
+        self.conv = Conv2d(in_channels, out_channels, kernel_size=1, bias=False, seed=seed)
+        self.pool = AvgPool2d(2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.pool(self.conv(self.bn(x).relu()))
+
+
+class MiniDenseNetBackbone(Module):
+    """Stem conv, dense blocks with transitions, final BN-ReLU."""
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        growth_rate: int = 8,
+        block_layers: Sequence[int] = (2, 2),
+        stem_channels: int = 16,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.spatial_features = True
+        self.stem = Conv2d(
+            in_channels, stem_channels, kernel_size=3, padding=1, bias=False,
+            seed=derive_rng(seed, "stem"),
+        )
+        channels = stem_channels
+        stages = []
+        for block_index, num_layers in enumerate(block_layers):
+            block = DenseBlock(
+                channels, growth_rate, num_layers, seed=derive_rng(seed, "block", block_index)
+            )
+            stages.append(block)
+            channels = block.out_channels
+            if block_index != len(block_layers) - 1:
+                out_channels = channels // 2
+                stages.append(
+                    Transition(channels, out_channels, seed=derive_rng(seed, "trans", block_index))
+                )
+                channels = out_channels
+        self.stages = Sequential(*stages)
+        self.final_bn = BatchNorm2d(channels)
+        self.feature_dim = channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        out = self.stages(out)
+        return self.final_bn(out).relu()

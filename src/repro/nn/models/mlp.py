@@ -1,0 +1,66 @@
+"""Multilayer perceptron backbone and classifier.
+
+The paper uses a 3-layer MLP (512/256/128) for Purchase-50 (Table II); our
+default widths are scaled down for CPU but configurable back up.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nn.layers import Linear, Module, ReLU, Sequential
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, derive_rng
+
+
+class MLPBackbone(Module):
+    """Dense feature extractor: input vector -> feature vector.
+
+    ``feature_dim`` is the width of the final hidden layer; heads treat it as
+    the GAP-equivalent feature size (GAP is a no-op for vector features).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int] = (256, 128, 64),
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if not hidden:
+            raise ValueError("MLP needs at least one hidden layer")
+        self.in_features = in_features
+        self.feature_dim = hidden[-1]
+        self.spatial_features = False
+        layers = []
+        previous = in_features
+        for index, width in enumerate(hidden):
+            layer_rng = derive_rng(seed, "mlp", index)
+            layers.append(Linear(previous, width, seed=layer_rng))
+            layers.append(ReLU())
+            previous = width
+        self.body = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.body(x)
+
+
+class MLP(Module):
+    """Standalone MLP classifier (backbone + linear head), for quick tests."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden: Sequence[int] = (256, 128, 64),
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.backbone = MLPBackbone(in_features, hidden, seed=derive_rng(seed, "backbone"))
+        self.head = Linear(self.backbone.feature_dim, num_classes, seed=derive_rng(seed, "head"))
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.backbone(x))

@@ -1,0 +1,103 @@
+"""Mini ResNet backbone.
+
+Keeps the defining mechanism of ResNet — identity skip connections around
+two-conv residual blocks, with a strided projection shortcut when the shape
+changes — at CPU-friendly scale.  Stands in for the paper's ResNet-50.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.nn.layers import BatchNorm2d, Conv2d, Module, ReLU, Sequential
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, derive_rng
+
+
+class ResidualBlock(Module):
+    """Two 3x3 convs with BatchNorm and an additive skip connection."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(
+            in_channels,
+            out_channels,
+            kernel_size=3,
+            stride=stride,
+            padding=1,
+            bias=False,
+            seed=derive_rng(seed, "conv1"),
+        )
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(
+            out_channels,
+            out_channels,
+            kernel_size=3,
+            padding=1,
+            bias=False,
+            seed=derive_rng(seed, "conv2"),
+        )
+        self.bn2 = BatchNorm2d(out_channels)
+        self.shortcut: Optional[Module] = None
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(
+                    in_channels,
+                    out_channels,
+                    kernel_size=1,
+                    stride=stride,
+                    bias=False,
+                    seed=derive_rng(seed, "shortcut"),
+                ),
+                BatchNorm2d(out_channels),
+            )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        residual = x if self.shortcut is None else self.shortcut(x)
+        return (out + residual).relu()
+
+
+class MiniResNetBackbone(Module):
+    """Stem conv followed by residual stages; downsamples between stages."""
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        stage_channels: Sequence[int] = (16, 32),
+        blocks_per_stage: int = 1,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.feature_dim = stage_channels[-1]
+        self.spatial_features = True
+        self.stem = Conv2d(
+            in_channels,
+            stage_channels[0],
+            kernel_size=3,
+            padding=1,
+            bias=False,
+            seed=derive_rng(seed, "stem"),
+        )
+        self.stem_bn = BatchNorm2d(stage_channels[0])
+        blocks = []
+        previous = stage_channels[0]
+        for stage_index, channels in enumerate(stage_channels):
+            for block_index in range(blocks_per_stage):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                block_rng = derive_rng(seed, "res", stage_index, block_index)
+                blocks.append(ResidualBlock(previous, channels, stride=stride, seed=block_rng))
+                previous = channels
+        self.stages = Sequential(*blocks)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem(x)).relu()
+        return self.stages(out)

@@ -1,0 +1,62 @@
+"""Mini VGG backbone.
+
+Keeps the defining structure of VGG — homogeneous stacks of 3x3 convolutions
+with ReLU, separated by 2x2 max-pooling, channel count doubling per stage —
+at CPU-friendly width and depth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, derive_rng
+
+
+class MiniVGGBackbone(Module):
+    """VGG-style conv stack producing (N, feature_dim, H', W') feature maps.
+
+    Parameters
+    ----------
+    in_channels:
+        Image channel count (3 for CIFAR-like data, 1 for CH-MNIST-like).
+    stage_channels:
+        Output channels of each stage; each stage is ``convs_per_stage``
+        conv+BN+ReLU blocks followed by a 2x2 max pool.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        stage_channels: Sequence[int] = (16, 32),
+        convs_per_stage: int = 2,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.feature_dim = stage_channels[-1]
+        self.spatial_features = True
+        layers = []
+        previous = in_channels
+        for stage_index, channels in enumerate(stage_channels):
+            for conv_index in range(convs_per_stage):
+                conv_rng = derive_rng(seed, "vgg", stage_index, conv_index)
+                layers.append(
+                    Conv2d(previous, channels, kernel_size=3, padding=1, bias=False, seed=conv_rng)
+                )
+                layers.append(BatchNorm2d(channels))
+                layers.append(ReLU())
+                previous = channels
+            layers.append(MaxPool2d(2))
+        self.body = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)

@@ -1,0 +1,89 @@
+"""Mini Vision Transformer backbone.
+
+The paper's dual-channel design is backbone-agnostic and explicitly lists
+vision transformers as candidates (Section III-A).  This is the standard
+ViT recipe at reproduction scale: patch embedding, learned positional
+embeddings, pre-norm transformer blocks, final LayerNorm; features are the
+mean-pooled token embeddings reshaped to a 1x1 spatial map so the GAP-based
+classifier heads treat it like any conv backbone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init as initializers
+from repro.nn.attention import LayerNorm, TransformerBlock
+from repro.nn.layers import Linear, Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, as_generator, derive_rng
+
+
+class PatchEmbedding(Module):
+    """Split NCHW images into flattened patches and project them to ``dim``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        image_size: int,
+        patch_size: int,
+        dim: int,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if image_size % patch_size != 0:
+            raise ValueError("image_size must be divisible by patch_size")
+        self.patch_size = patch_size
+        self.num_patches = (image_size // patch_size) ** 2
+        self.projection = Linear(in_channels * patch_size**2, dim, seed=seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, channels, height, width = x.shape
+        p = self.patch_size
+        grid_h, grid_w = height // p, width // p
+        # (N, C, gh, p, gw, p) -> (N, gh, gw, C, p, p) -> (N, S, C*p*p)
+        patches = x.reshape(batch, channels, grid_h, p, grid_w, p)
+        patches = patches.transpose(0, 2, 4, 1, 3, 5)
+        patches = patches.reshape(batch * grid_h * grid_w, channels * p * p)
+        embedded = self.projection(patches)
+        return embedded.reshape(batch, grid_h * grid_w, -1)
+
+
+class MiniViTBackbone(Module):
+    """Tiny ViT producing (N, dim, 1, 1) feature maps (GAP-compatible)."""
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        image_size: int = 12,
+        patch_size: int = 4,
+        dim: int = 32,
+        depth: int = 2,
+        num_heads: int = 4,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.feature_dim = dim
+        self.spatial_features = True
+        self.patch_embed = PatchEmbedding(
+            in_channels, image_size, patch_size, dim, seed=derive_rng(seed, "patch")
+        )
+        rng = as_generator(derive_rng(seed, "pos"))
+        self.positional = Parameter(
+            rng.normal(0.0, 0.02, size=(self.patch_embed.num_patches, dim))
+        )
+        self._blocks = []
+        for index in range(depth):
+            block = TransformerBlock(dim, num_heads, seed=derive_rng(seed, "block", index))
+            setattr(self, f"block{index}", block)
+            self._blocks.append(block)
+        self.final_norm = LayerNorm(dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        tokens = self.patch_embed(x) + self.positional
+        for block in self._blocks:
+            tokens = block(tokens)
+        tokens = self.final_norm(tokens)
+        pooled = tokens.mean(axis=1)  # (N, dim)
+        return pooled.reshape(pooled.shape[0], self.feature_dim, 1, 1)

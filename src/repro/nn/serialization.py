@@ -1,0 +1,40 @@
+"""Model state persistence.
+
+State dicts are flat ``{dotted.name: ndarray}`` mappings (see
+:meth:`repro.nn.layers.Module.state_dict`); this module saves/loads them with
+``numpy.savez`` so checkpoints are portable and dependency-free.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
+    """Serialize a state dict to ``path`` (npz)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Load a state dict saved by :func:`save_state_dict`."""
+    with np.load(path if path.endswith(".npz") else path + ".npz") as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def clone_state_dict(state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Deep-copy a state dict (FL clients clone the global model each round)."""
+    return {name: np.array(value, copy=True) for name, value in state.items()}
+
+
+def state_dicts_allclose(
+    a: Dict[str, np.ndarray], b: Dict[str, np.ndarray], atol: float = 1e-10
+) -> bool:
+    """Structural + numeric equality of two state dicts."""
+    if set(a) != set(b):
+        return False
+    return all(np.allclose(a[name], b[name], atol=atol) for name in a)

@@ -1,0 +1,41 @@
+"""Library logging setup.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` to its own namespace (standard practice for libraries) and
+offers :func:`get_logger` so all modules share the ``repro.`` prefix.
+Applications (examples, benchmarks) call :func:`enable_console_logging` to
+see progress output.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``name`` may be a bare suffix (``"fl.server"``) or an already-qualified
+    module name (``"repro.fl.server"``); both map to the same logger.
+    """
+    if not name.startswith(_ROOT_NAME):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the library's namespace (idempotent)."""
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    for handler in root.handlers:
+        if isinstance(handler, logging.StreamHandler) and getattr(handler, "_repro_console", False):
+            return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+    handler._repro_console = True  # type: ignore[attr-defined]
+    root.addHandler(handler)

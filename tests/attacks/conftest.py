@@ -1,0 +1,87 @@
+"""Shared attack-test fixtures: a deliberately overfit target model.
+
+MI attacks only have signal when the target memorizes its training set, so
+these fixtures train a small MLP to zero loss on few samples and expose
+member/non-member pools from the same synthetic distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackData, CIPTarget, PlainTarget
+from repro.core.config import CIPConfig
+from repro.core.perturbation import Perturbation
+from repro.core.trainer import CIPTrainer
+from repro.data.dataset import Dataset
+from repro.nn.losses import cross_entropy
+from repro.nn.models import build_model
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor
+
+NUM_CLASSES = 4
+DIM = 16
+
+
+def _make_pools(seed=0, n_per_class=12, noise=0.7):
+    """Class-structured data in [0, 1] (CIP's blending assumes this range)."""
+    rng = np.random.default_rng(seed)
+    prototypes = rng.random((NUM_CLASSES, DIM))
+    labels = np.repeat(np.arange(NUM_CLASSES), n_per_class)
+
+    def sample(split_seed):
+        r = np.random.default_rng(split_seed)
+        inputs = np.clip(
+            prototypes[labels] + r.normal(0, noise, (len(labels), DIM)), 0.0, 1.0
+        )
+        return Dataset(inputs, labels.copy(), NUM_CLASSES)
+
+    return sample(1), sample(2)  # members, nonmembers
+
+
+@pytest.fixture(scope="session")
+def overfit_pools():
+    return _make_pools()
+
+
+@pytest.fixture(scope="session")
+def overfit_target(overfit_pools):
+    """PlainTarget trained to memorize the member pool."""
+    members, _ = overfit_pools
+    model = build_model("mlp", NUM_CLASSES, in_features=DIM, hidden=(64, 32), seed=0)
+    opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    for _ in range(150):
+        opt.zero_grad()
+        loss = cross_entropy(model(Tensor(members.inputs)), members.labels)
+        loss.backward()
+        opt.step()
+    model.eval()
+    return PlainTarget(model, NUM_CLASSES)
+
+
+@pytest.fixture(scope="session")
+def attack_data(overfit_pools):
+    members, nonmembers = overfit_pools
+    return AttackData.from_pools(members, nonmembers, seed=0)
+
+
+@pytest.fixture(scope="session")
+def cip_setup(overfit_pools):
+    """A CIP-trained dual-channel model over the same pools."""
+    members, _ = overfit_pools
+    config = CIPConfig(alpha=0.9, lambda_m=1e-6, perturbation_lr=0.05)
+    model = build_model(
+        "mlp", NUM_CLASSES, in_features=DIM, hidden=(64, 32), dual_channel=True, seed=0
+    )
+    perturbation = Perturbation((DIM,), config, seed=3)
+    opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    trainer = CIPTrainer(model, perturbation, opt, config=config)
+    trainer.train(members, epochs=40, batch_size=16, seed=0)
+    return trainer
+
+
+@pytest.fixture(scope="session")
+def cip_target(cip_setup):
+    trainer = cip_setup
+    return CIPTarget(trainer.model, NUM_CLASSES, trainer.config, guess_t=None)

@@ -1,0 +1,144 @@
+"""The six adaptive adversaries (RQ4)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.adaptive import (
+    InverseMIAttack,
+    PartialDataAttack,
+    ProbeOptimizationAttack,
+    PublicSeedAttack,
+    SubstitutePerturbationAttack,
+)
+from repro.attacks.base import AttackData, evaluate_attack
+from repro.core.cip_client import CIPClient
+from repro.core.config import CIPConfig
+from repro.data.partition import partition_iid
+from repro.fl.client import ClientConfig
+from repro.fl.server import FLServer
+from repro.fl.simulation import FederatedSimulation
+from repro.metrics.ssim import ssim
+from repro.nn.models import build_model
+
+NUM_CLASSES = 4
+DIM = 16
+
+
+def dual_factory():
+    return build_model(
+        "mlp", NUM_CLASSES, in_features=DIM, hidden=(64, 32), dual_channel=True, seed=0
+    )
+
+
+class TestProbeOptimization:
+    def test_attack_stays_weak(self, cip_target, attack_data):
+        attack = ProbeOptimizationAttack(num_probes=32, optimization_steps=10, seed=0)
+        report = attack.run(cip_target, attack_data)
+        assert attack.fitted_t is not None
+        assert attack.fitted_t.shape == (DIM,)
+        # paper: small gain over blind, still far from the no-defense level
+        assert report.accuracy < 0.75
+
+    def test_optimized_guess_fits_model_better_than_random(self, cip_target, attack_data):
+        attack = ProbeOptimizationAttack(num_probes=48, optimization_steps=25, seed=0)
+        rng = np.random.default_rng(0)
+        probes = rng.random((48, DIM))
+        fitted = attack.optimize_guess(cip_target, probes)
+        labels = cip_target.predict(probes).argmax(axis=1)
+        loss_fitted = cip_target.with_guess(fitted).per_sample_loss(probes, labels).mean()
+        loss_random = (
+            cip_target.with_guess(rng.random(DIM)).per_sample_loss(probes, labels).mean()
+        )
+        assert loss_fitted < loss_random
+
+
+class TestPublicSeed:
+    def test_seed_similarity_controlled(self, cip_setup):
+        client_seed = np.random.default_rng(0).random(DIM)
+        for target_ssim in (0.3, 0.7):
+            attack = PublicSeedAttack(client_seed, target_ssim, seed=1)
+            built = attack.build_attacker_seed()
+            assert abs(ssim(built, client_seed) - target_ssim) < 0.15
+
+    def test_exact_seed(self):
+        client_seed = np.random.default_rng(0).random(DIM)
+        attack = PublicSeedAttack(client_seed, 1.0, seed=1)
+        np.testing.assert_allclose(attack.build_attacker_seed(), client_seed)
+
+    def test_attack_runs(self, cip_target, attack_data, overfit_pools):
+        _, nonmembers = overfit_pools
+        client_seed = np.random.default_rng(0).random(DIM)
+        attack = PublicSeedAttack(client_seed, 0.5, optimization_steps=8, seed=1)
+        report = attack.run(cip_target, nonmembers.take(24), attack_data)
+        assert 0.0 <= report.accuracy <= 1.0
+        assert attack.achieved_seed_ssim() > 0.2
+
+
+class TestPartialData:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartialDataAttack(dual_factory, known_fraction=0.0)
+
+    def test_attack_flat_in_fraction(self, cip_target, overfit_pools):
+        """Knowing more data does not help (paper Table IX)."""
+        members, nonmembers = overfit_pools
+        accuracies = []
+        for fraction in (0.2, 0.8):
+            attack = PartialDataAttack(
+                dual_factory, known_fraction=fraction, shadow_epochs=3, seed=2
+            )
+            report = attack.run(cip_target, members, nonmembers)
+            accuracies.append(report.accuracy)
+        assert all(a < 0.75 for a in accuracies)
+
+    def test_fit_shadow_produces_t(self, cip_target, overfit_pools):
+        members, _ = overfit_pools
+        attack = PartialDataAttack(dual_factory, known_fraction=0.5, shadow_epochs=2, seed=0)
+        shadow_t = attack.fit_shadow(members.take(20), cip_target.config)
+        assert shadow_t.shape == (DIM,)
+
+
+class TestInverseMI:
+    def test_near_or_below_random_with_small_lambda(self, cip_target, attack_data):
+        report = evaluate_attack(InverseMIAttack(), cip_target, attack_data)
+        assert report.accuracy <= 0.6
+
+    def test_scores_increase_with_loss(self, cip_target, attack_data):
+        attack = InverseMIAttack()
+        attack.fit(cip_target, attack_data)
+        losses = cip_target.per_sample_loss(
+            attack_data.eval_members.inputs, attack_data.eval_members.labels
+        )
+        scores = attack.score(cip_target, attack_data.eval_members)
+        # monotone: higher loss -> higher member score
+        order = np.argsort(losses)
+        assert (np.diff(scores[order]) >= -1e-9).all()
+
+
+class TestSubstitutePerturbation:
+    def test_full_report(self, overfit_pools):
+        members, nonmembers = overfit_pools
+        shards = partition_iid(members, 2, seed=0)
+        config = CIPConfig(alpha=0.5, perturbation_lr=0.05)
+        clients = [
+            CIPClient(
+                i, shards[i], dual_factory, cip_config=config,
+                config=ClientConfig(lr=0.1), seed=i,
+            )
+            for i in range(2)
+        ]
+        server = FLServer(dual_factory)
+        sim = FederatedSimulation(server, clients)
+        sim.run(15)
+        for client in clients:
+            client.receive_global(server.global_state())
+        report = SubstitutePerturbationAttack().run(
+            victim=clients[0],
+            attacker=clients[1],
+            test_data=nonmembers,
+            nonmembers=nonmembers.take(len(shards[0])),
+        )
+        assert 0.0 <= report.accuracy <= 1.0
+        assert -1.0 <= report.ssim_t_tprime <= 1.0
+        # the victim's own t fits its training data at least as well as t'
+        assert report.train_accuracy_with_true_t >= report.train_accuracy_with_substitute - 0.1

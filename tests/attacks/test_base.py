@@ -1,0 +1,129 @@
+"""Attack framework: target APIs, pools, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import (
+    AttackData,
+    CIPTarget,
+    MIAttack,
+    PlainTarget,
+    evaluate_attack,
+    sigmoid,
+)
+from repro.core.config import CIPConfig
+from repro.data.dataset import Dataset
+from repro.nn.models import build_model
+
+
+class TestPlainTarget:
+    def test_predict_shapes_and_counts_queries(self, overfit_target, overfit_pools):
+        members, _ = overfit_pools
+        before = overfit_target.query_count
+        logits = overfit_target.predict(members.inputs[:10])
+        assert logits.shape == (10, 4)
+        assert overfit_target.query_count == before + 10
+
+    def test_proba_normalized(self, overfit_target, overfit_pools):
+        members, _ = overfit_pools
+        probs = overfit_target.predict_proba(members.inputs[:5])
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+        assert (probs >= 0).all()
+
+    def test_members_have_lower_loss(self, overfit_target, overfit_pools):
+        members, nonmembers = overfit_pools
+        member_loss = overfit_target.per_sample_loss(members.inputs, members.labels)
+        nonmember_loss = overfit_target.per_sample_loss(
+            nonmembers.inputs, nonmembers.labels
+        )
+        assert member_loss.mean() < nonmember_loss.mean()
+
+    def test_members_have_smaller_gradients(self, overfit_target, overfit_pools):
+        members, nonmembers = overfit_pools
+        member_norms = overfit_target.per_sample_grad_norms(
+            members.inputs[:10], members.labels[:10]
+        )
+        nonmember_norms = overfit_target.per_sample_grad_norms(
+            nonmembers.inputs[:10], nonmembers.labels[:10]
+        )
+        assert member_norms.mean() < nonmember_norms.mean()
+
+    def test_state_exposed(self, overfit_target):
+        state = overfit_target.state()
+        assert len(state) > 0
+
+
+class TestCIPTarget:
+    def test_guess_changes_predictions(self, cip_target, overfit_pools):
+        members, _ = overfit_pools
+        rng = np.random.default_rng(0)
+        guessed = cip_target.with_guess(rng.random(members.input_shape))
+        out_none = cip_target.predict(members.inputs[:5])
+        out_guess = guessed.predict(members.inputs[:5])
+        assert not np.allclose(out_none, out_guess)
+
+    def test_with_guess_shares_model(self, cip_target):
+        adapted = cip_target.with_guess(None)
+        assert adapted.module is cip_target.module
+
+
+class TestAttackData:
+    def test_from_pools_disjoint_split(self):
+        rng = np.random.default_rng(0)
+        members = Dataset(rng.normal(size=(20, 4)), rng.integers(0, 2, 20), 2)
+        nonmembers = Dataset(rng.normal(size=(20, 4)), rng.integers(0, 2, 20), 2)
+        data = AttackData.from_pools(members, nonmembers, seed=0)
+        assert len(data.known_members) + len(data.eval_members) == 20
+        combined = np.concatenate(
+            [data.known_members.inputs, data.eval_members.inputs]
+        ).ravel()
+        assert len(np.unique(combined)) == members.inputs.size  # no overlap
+
+
+class TestEvaluateAttack:
+    class PerfectAttack(MIAttack):
+        name = "oracle"
+
+        def __init__(self, member_ids):
+            self.member_ids = member_ids
+
+        def score(self, target, dataset):
+            # cheats via id lookup on the first feature value
+            return np.array(
+                [1.0 if x[0] in self.member_ids else 0.0 for x in dataset.inputs]
+            )
+
+    def test_perfect_attack_scores_one(self):
+        rng = np.random.default_rng(0)
+        members = Dataset(rng.normal(size=(20, 4)), rng.integers(0, 2, 20), 2)
+        nonmembers = Dataset(rng.normal(size=(20, 4)), rng.integers(0, 2, 20), 2)
+        data = AttackData.from_pools(members, nonmembers, seed=0)
+        attack = self.PerfectAttack(set(members.inputs[:, 0]))
+        model = build_model("mlp", 2, in_features=4, hidden=(4,), seed=0)
+        report = evaluate_attack(attack, PlainTarget(model, 2), data)
+        assert report.accuracy == 1.0
+        assert report.auc == 1.0
+
+    def test_random_attack_near_half(self):
+        class RandomAttack(MIAttack):
+            name = "coin"
+
+            def score(self, target, dataset):
+                return np.random.default_rng(0).random(len(dataset))
+
+        rng = np.random.default_rng(1)
+        members = Dataset(rng.normal(size=(100, 4)), rng.integers(0, 2, 100), 2)
+        nonmembers = Dataset(rng.normal(size=(100, 4)), rng.integers(0, 2, 100), 2)
+        data = AttackData.from_pools(members, nonmembers, seed=0)
+        model = build_model("mlp", 2, in_features=4, hidden=(4,), seed=0)
+        report = evaluate_attack(RandomAttack(), PlainTarget(model, 2), data)
+        assert 0.3 < report.accuracy < 0.7
+
+
+class TestSigmoid:
+    def test_range_and_midpoint(self):
+        out = sigmoid(np.array([-1000.0, 0.0, 1000.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_no_overflow(self):
+        assert np.isfinite(sigmoid(np.array([-1e10, 1e10]))).all()

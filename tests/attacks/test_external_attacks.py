@@ -1,0 +1,104 @@
+"""The five external MI attacks: signal on an overfit target, collapse on CIP."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    ObBlindMIAttack,
+    ObLabelAttack,
+    ObMALTAttack,
+    ObNNAttack,
+    PbBayesAttack,
+    evaluate_attack,
+)
+from repro.attacks.ob_blindmi import gaussian_mmd
+from repro.attacks.ob_nn import posterior_features
+from repro.attacks.pb_bayes import whitebox_features
+
+
+ALL_ATTACKS = [
+    ("Ob-Label", lambda: ObLabelAttack()),
+    ("Ob-MALT", lambda: ObMALTAttack()),
+    ("Ob-NN", lambda: ObNNAttack(epochs=30, seed=0)),
+    ("Ob-BlindMI", lambda: ObBlindMIAttack(num_generated=20, max_iterations=3, seed=0)),
+    ("Pb-Bayes", lambda: PbBayesAttack()),
+]
+
+
+class TestAttacksOnOverfitTarget:
+    @pytest.mark.parametrize("name,make", ALL_ATTACKS)
+    def test_beats_random_guessing(self, name, make, overfit_target, attack_data):
+        report = evaluate_attack(make(), overfit_target, attack_data)
+        assert report.accuracy > 0.6, f"{name} failed to exploit overfitting"
+        assert report.attack == name
+
+    @pytest.mark.parametrize("name,make", ALL_ATTACKS)
+    def test_scores_in_unit_interval(self, name, make, overfit_target, attack_data):
+        attack = make()
+        attack.fit(overfit_target, attack_data)
+        scores = attack.score(overfit_target, attack_data.eval_members)
+        assert scores.min() >= 0.0 and scores.max() <= 1.0
+
+
+class TestAttacksCollapseUnderCIP:
+    @pytest.mark.parametrize(
+        "name,make", [a for a in ALL_ATTACKS if a[0] != "Pb-Bayes"]
+    )
+    def test_near_random_on_cip(self, name, make, cip_target, attack_data):
+        report = evaluate_attack(make(), cip_target, attack_data)
+        assert report.accuracy < 0.65, f"{name} should collapse under CIP"
+
+    def test_pb_bayes_weakened_on_cip(self, cip_target, overfit_target, attack_data):
+        strong = evaluate_attack(PbBayesAttack(), overfit_target, attack_data)
+        weak = evaluate_attack(PbBayesAttack(), cip_target, attack_data)
+        assert weak.accuracy < strong.accuracy
+
+
+class TestObMALT:
+    def test_threshold_between_pool_means(self, overfit_target, attack_data):
+        attack = ObMALTAttack()
+        attack.fit(overfit_target, attack_data)
+        member_losses = overfit_target.per_sample_loss(
+            attack_data.known_members.inputs, attack_data.known_members.labels
+        )
+        nonmember_losses = overfit_target.per_sample_loss(
+            attack_data.known_nonmembers.inputs, attack_data.known_nonmembers.labels
+        )
+        assert member_losses.mean() < attack.threshold < nonmember_losses.mean()
+
+
+class TestObNN:
+    def test_requires_fit(self, overfit_target, attack_data):
+        with pytest.raises(RuntimeError):
+            ObNNAttack().score(overfit_target, attack_data.eval_members)
+
+    def test_feature_shape(self, overfit_target, attack_data):
+        feats = posterior_features(overfit_target, attack_data.eval_members, top_k=3)
+        assert feats.shape == (len(attack_data.eval_members), 5)
+
+    def test_top_k_clamped_to_classes(self, overfit_target, attack_data):
+        feats = posterior_features(overfit_target, attack_data.eval_members, top_k=10)
+        assert feats.shape[1] == 12
+
+
+class TestBlindMI:
+    def test_mmd_zero_for_identical_sets(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(10, 3))
+        assert abs(gaussian_mmd(x, x)) < 1e-9
+
+    def test_mmd_positive_for_different_sets(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, size=(20, 3))
+        y = rng.normal(5, 1, size=(20, 3))
+        assert gaussian_mmd(x, y) > 0.1
+
+    def test_mmd_empty_set(self):
+        assert gaussian_mmd(np.zeros((0, 3)), np.zeros((5, 3))) == 0.0
+
+
+class TestPbBayes:
+    def test_whitebox_features_shape(self, overfit_target, attack_data):
+        feats = whitebox_features(overfit_target, attack_data.eval_members.take(5))
+        assert feats.shape == (5, 3)
+        assert np.isfinite(feats).all()

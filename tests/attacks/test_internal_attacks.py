@@ -1,0 +1,105 @@
+"""Internal malicious-server attacks (Nasr passive/active)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.internal import (
+    ActiveServerAttack,
+    PassiveServerAttack,
+    StateEvaluator,
+    plain_forward,
+)
+from repro.data.dataset import Dataset
+from repro.data.partition import partition_iid
+from repro.fl.client import ClientConfig, FLClient
+from repro.fl.server import FLServer
+from repro.fl.simulation import FederatedSimulation
+from repro.nn.models import build_model
+
+NUM_CLASSES = 4
+DIM = 16
+
+
+def factory():
+    return build_model("mlp", NUM_CLASSES, in_features=DIM, hidden=(64, 32), seed=0)
+
+
+@pytest.fixture(scope="module")
+def federation(overfit_pools):
+    """A small overfit federation with snapshots of the last rounds."""
+    members, _ = overfit_pools
+    shards = partition_iid(members, 2, seed=0)
+    server = FLServer(factory)
+    clients = [
+        FLClient(i, shards[i], factory, ClientConfig(lr=0.05), seed=i) for i in range(2)
+    ]
+    rounds = 30
+    sim = FederatedSimulation(
+        server, clients, snapshot_rounds=range(rounds - 3, rounds)
+    )
+    sim.run(rounds)
+    return sim, shards
+
+
+class TestStateEvaluator:
+    def test_loss_of_state(self, federation, overfit_pools):
+        sim, shards = federation
+        members, _ = overfit_pools
+        evaluator = StateEvaluator(factory())
+        losses = evaluator.per_sample_loss(
+            sim.server.global_state(), members.inputs[:5], members.labels[:5]
+        )
+        assert losses.shape == (5,)
+        assert np.isfinite(losses).all()
+
+
+class TestPassiveAttack:
+    def test_beats_random_on_overfit_federation(self, federation, overfit_pools):
+        sim, shards = federation
+        members, nonmembers = overfit_pools
+        victim_members = shards[0]
+        known_m, eval_m = victim_members.split(0.5, seed=0)
+        known_n, eval_n = nonmembers.split(0.5, seed=0)
+        attack = PassiveServerAttack(StateEvaluator(factory()), victim_id=0)
+        report = attack.run(sim.history.snapshots, known_m, known_n, eval_m, eval_n)
+        assert report.accuracy > 0.6
+        assert report.attack == "Internal-Passive"
+
+    def test_requires_snapshots(self, overfit_pools):
+        members, nonmembers = overfit_pools
+        attack = PassiveServerAttack(StateEvaluator(factory()))
+        with pytest.raises(ValueError):
+            attack.run([], members, nonmembers, members, nonmembers)
+
+    def test_falls_back_to_global_state_without_victim(self, federation, overfit_pools):
+        sim, shards = federation
+        members, nonmembers = overfit_pools
+        attack = PassiveServerAttack(StateEvaluator(factory()), victim_id=None)
+        known_m, eval_m = shards[0].split(0.5, seed=0)
+        known_n, eval_n = nonmembers.split(0.5, seed=0)
+        report = attack.run(sim.history.snapshots, known_m, known_n, eval_m, eval_n)
+        assert 0.0 <= report.accuracy <= 1.0
+
+
+class TestActiveAttack:
+    def test_runs_and_restores_hook(self, federation, overfit_pools):
+        sim, shards = federation
+        members, nonmembers = overfit_pools
+        evaluator = StateEvaluator(factory())
+        attack = ActiveServerAttack(
+            evaluator, factory(), victim_id=0, ascent_lr=0.05, forward=plain_forward
+        )
+        victim_members = shards[0].take(16)
+        outside = nonmembers.take(16)
+        report = attack.run(sim, victim_members, outside, attack_rounds=2)
+        assert sim.server.broadcast_hook is None  # restored
+        assert 0.0 <= report.accuracy <= 1.0
+
+    def test_members_recover_more(self, federation, overfit_pools):
+        """The core signal: victims re-fit members after the ascent."""
+        sim, shards = federation
+        members, nonmembers = overfit_pools
+        evaluator = StateEvaluator(factory())
+        attack = ActiveServerAttack(evaluator, factory(), victim_id=0, ascent_lr=0.05)
+        report = attack.run(sim, shards[0], nonmembers.take(len(shards[0])), attack_rounds=3)
+        assert report.accuracy > 0.55

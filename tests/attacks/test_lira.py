@@ -1,0 +1,69 @@
+"""LiRA (offline likelihood-ratio attack)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import LiRAAttack, LiRAConfig, evaluate_attack, logit_confidence
+from repro.data.dataset import Dataset
+from repro.nn.models import build_model
+from tests.attacks.conftest import DIM, NUM_CLASSES, _make_pools
+
+
+def lira_config(attacker_data=None, num_shadows=3, epochs=60):
+    return LiRAConfig(
+        model_factory=lambda: build_model(
+            "mlp", NUM_CLASSES, in_features=DIM, hidden=(64, 32), seed=55
+        ),
+        num_shadows=num_shadows,
+        epochs=epochs,
+        lr=0.05,
+        seed=0,
+        attacker_data=attacker_data,
+    )
+
+
+class TestLogitConfidence:
+    def test_confident_correct_is_large(self):
+        probs = np.array([[0.99, 0.01], [0.5, 0.5], [0.01, 0.99]])
+        labels = np.array([0, 0, 0])
+        conf = logit_confidence(probs, labels)
+        assert conf[0] > conf[1] > conf[2]
+        assert conf[1] == pytest.approx(0.0)
+
+    def test_stable_at_extremes(self):
+        probs = np.array([[1.0, 0.0]])
+        conf = logit_confidence(probs, np.array([0]))
+        assert np.isfinite(conf).all()
+
+
+class TestLiRA:
+    def test_requires_fit(self, overfit_target, attack_data):
+        attack = LiRAAttack(lira_config())
+        with pytest.raises(RuntimeError):
+            attack.score(overfit_target, attack_data.eval_members)
+
+    def test_beats_random_on_overfit_target(self, overfit_target, attack_data):
+        attacker_members, attacker_extra = _make_pools(seed=9)
+        attacker_data = Dataset.concatenate([attacker_members, attacker_extra])
+        attack = LiRAAttack(lira_config(attacker_data))
+        report = evaluate_attack(attack, overfit_target, attack_data)
+        assert report.auc > 0.65
+        assert report.accuracy > 0.6
+
+    def test_weakened_by_cip(self, overfit_target, cip_target, attack_data):
+        attacker_members, attacker_extra = _make_pools(seed=9)
+        attacker_data = Dataset.concatenate([attacker_members, attacker_extra])
+        strong = evaluate_attack(LiRAAttack(lira_config(attacker_data)), overfit_target, attack_data)
+        weak = evaluate_attack(LiRAAttack(lira_config(attacker_data)), cip_target, attack_data)
+        assert weak.auc < strong.auc
+
+    def test_scores_in_unit_interval(self, overfit_target, attack_data):
+        attack = LiRAAttack(lira_config(num_shadows=2, epochs=20))
+        attack.fit(overfit_target, attack_data)
+        scores = attack.score(overfit_target, attack_data.eval_members)
+        assert scores.min() >= 0.0 and scores.max() <= 1.0
+
+    def test_falls_back_to_known_nonmembers(self, overfit_target, attack_data):
+        attack = LiRAAttack(lira_config(attacker_data=None, num_shadows=2, epochs=20))
+        report = evaluate_attack(attack, overfit_target, attack_data)
+        assert 0.0 <= report.accuracy <= 1.0

@@ -1,0 +1,100 @@
+"""Shadow-model machinery and shadow-calibrated attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AttackData,
+    ObMALTAttack,
+    ObNNAttack,
+    ShadowConfig,
+    evaluate_attack,
+    train_shadow,
+)
+from repro.data.dataset import Dataset
+from repro.nn.models import build_model
+from tests.attacks.conftest import DIM, NUM_CLASSES, _make_pools
+
+
+def shadow_config(attacker_data=None, epochs=80):
+    return ShadowConfig(
+        model_factory=lambda: build_model(
+            "mlp", NUM_CLASSES, in_features=DIM, hidden=(64, 32), seed=77
+        ),
+        epochs=epochs,
+        lr=0.05,
+        seed=0,
+        attacker_data=attacker_data,
+    )
+
+
+class TestTrainShadow:
+    def test_shadow_overfits_its_half(self, overfit_pools):
+        members, _ = overfit_pools
+        target, shadow_in, shadow_out = train_shadow(members, shadow_config())
+        in_loss = target.per_sample_loss(shadow_in.inputs, shadow_in.labels).mean()
+        out_loss = target.per_sample_loss(shadow_out.inputs, shadow_out.labels).mean()
+        assert in_loss < out_loss
+
+    def test_prebuilt_cache_reused(self, overfit_pools):
+        members, _ = overfit_pools
+        config = shadow_config(attacker_data=members)
+        first = train_shadow(members, config)
+        second = train_shadow(members, config)
+        assert first[0] is second[0]  # same trained shadow object
+
+    def test_fallback_not_cached(self, overfit_pools):
+        members, _ = overfit_pools
+        config = shadow_config(attacker_data=None)
+        train_shadow(members, config)
+        assert config._prebuilt is None
+
+    def test_too_small_data_rejected(self):
+        tiny = Dataset(np.zeros((2, DIM)), np.zeros(2, dtype=int), NUM_CLASSES)
+        with pytest.raises(ValueError):
+            train_shadow(tiny, shadow_config())
+
+
+class TestShadowCalibratedAttacks:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObMALTAttack(calibration="shadow")  # missing config
+        with pytest.raises(ValueError):
+            ObMALTAttack(calibration="psychic")
+        with pytest.raises(ValueError):
+            ObNNAttack(calibration="shadow")
+
+    def test_shadow_malt_attacks_undefended_target(self, overfit_target, attack_data):
+        # attacker's own population draw (same generator, new noise)
+        attacker_members, attacker_extra = _make_pools(seed=5)
+        attacker_data = Dataset.concatenate([attacker_members, attacker_extra])
+        attack = ObMALTAttack(calibration="shadow", shadow=shadow_config(attacker_data))
+        report = evaluate_attack(attack, overfit_target, attack_data)
+        assert report.accuracy > 0.6
+
+    def test_shadow_threshold_transferred_not_target_based(
+        self, overfit_target, attack_data
+    ):
+        attacker_members, attacker_extra = _make_pools(seed=5)
+        attacker_data = Dataset.concatenate([attacker_members, attacker_extra])
+        attack = ObMALTAttack(calibration="shadow", shadow=shadow_config(attacker_data))
+        attack.fit(overfit_target, attack_data)
+        shadow_threshold = attack.threshold
+        oracle = ObMALTAttack(calibration="known")
+        oracle.fit(overfit_target, attack_data)
+        # thresholds come from different sources; they need not coincide
+        assert np.isfinite(shadow_threshold)
+        assert np.isfinite(oracle.threshold)
+
+    def test_shadow_weaker_than_oracle_on_cip(self, cip_target, attack_data):
+        """CIP breaks the shadow transfer harder than the oracle calibration."""
+        attacker_members, attacker_extra = _make_pools(seed=5)
+        attacker_data = Dataset.concatenate([attacker_members, attacker_extra])
+        shadow_report = evaluate_attack(
+            ObMALTAttack(calibration="shadow", shadow=shadow_config(attacker_data)),
+            cip_target,
+            attack_data,
+        )
+        oracle_report = evaluate_attack(ObMALTAttack(), cip_target, attack_data)
+        assert shadow_report.accuracy <= oracle_report.accuracy + 0.1
+        assert shadow_report.accuracy < 0.7

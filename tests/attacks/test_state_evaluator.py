@@ -1,0 +1,86 @@
+"""StateEvaluator and the CIP zero-blend forward used by internal attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.internal import (
+    StateEvaluator,
+    cip_zero_blend_forward,
+    plain_forward,
+)
+from repro.core.config import CIPConfig
+from repro.nn.models import build_model
+from repro.nn.serialization import state_dicts_allclose
+
+
+def plain_factory():
+    return build_model("mlp", 4, in_features=16, hidden=(16,), seed=0)
+
+
+def dual_factory():
+    return build_model("mlp", 4, in_features=16, hidden=(16,), dual_channel=True, seed=0)
+
+
+RNG = np.random.default_rng(0)
+INPUTS = RNG.random((12, 16))
+LABELS = RNG.integers(0, 4, 12)
+
+
+class TestStateEvaluator:
+    def test_loads_the_requested_state(self):
+        evaluator = StateEvaluator(plain_factory())
+        source = build_model("mlp", 4, in_features=16, hidden=(16,), seed=7)
+        evaluator.per_sample_loss(source.state_dict(), INPUTS, LABELS)
+        assert state_dicts_allclose(
+            evaluator.model.state_dict(), source.state_dict()
+        )
+
+    def test_different_states_different_losses(self):
+        evaluator = StateEvaluator(plain_factory())
+        a = build_model("mlp", 4, in_features=16, hidden=(16,), seed=1).state_dict()
+        b = build_model("mlp", 4, in_features=16, hidden=(16,), seed=2).state_dict()
+        loss_a = evaluator.per_sample_loss(a, INPUTS, LABELS)
+        loss_b = evaluator.per_sample_loss(b, INPUTS, LABELS)
+        assert not np.allclose(loss_a, loss_b)
+
+    def test_per_sample_shape_and_finiteness(self):
+        evaluator = StateEvaluator(plain_factory())
+        losses = evaluator.per_sample_loss(
+            plain_factory().state_dict(), INPUTS, LABELS
+        )
+        assert losses.shape == (12,)
+        assert np.isfinite(losses).all()
+
+
+class TestCIPZeroBlendForward:
+    def test_forward_feeds_the_dual_channel_pair(self):
+        config = CIPConfig(alpha=0.5)
+        forward = cip_zero_blend_forward(config)
+        model = dual_factory()
+        out = forward(model, INPUTS)
+        assert out.shape == (12, 4)
+
+    def test_matches_manual_blend(self):
+        from repro.core.blending import blend
+        from repro.nn.tensor import no_grad
+
+        config = CIPConfig(alpha=0.7)
+        forward = cip_zero_blend_forward(config)
+        model = dual_factory()
+        model.eval()
+        with no_grad():
+            via_forward = forward(model, INPUTS).data
+            via_blend = model(blend(INPUTS, None, 0.7, config.clip_range)).data
+        np.testing.assert_allclose(via_forward, via_blend)
+
+    def test_evaluator_with_cip_forward(self):
+        config = CIPConfig(alpha=0.5)
+        evaluator = StateEvaluator(dual_factory(), forward=cip_zero_blend_forward(config))
+        losses = evaluator.per_sample_loss(dual_factory().state_dict(), INPUTS, LABELS)
+        assert losses.shape == (12,)
+        assert np.isfinite(losses).all()
+
+    def test_plain_forward(self):
+        model = plain_factory()
+        out = plain_forward(model, INPUTS)
+        assert out.shape == (12, 4)

@@ -1,0 +1,68 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(fn, x: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued fn at x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = fn(x)
+        flat[i] = original - epsilon
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+def check_gradient(op, shape, seed=0, atol=1e-5, positive=False):
+    """Compare autograd gradient of ``op(Tensor) -> Tensor scalar`` to numeric."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=shape)
+    if positive:
+        x = np.abs(x) + 0.5
+    tensor = Tensor(x.copy(), requires_grad=True)
+    out = op(tensor)
+    out.backward()
+    analytic = tensor.grad
+
+    def scalar_fn(values: np.ndarray) -> float:
+        return op(Tensor(values)).item()
+
+    numeric = numerical_gradient(scalar_fn, x.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_image_dataset(rng):
+    """48 samples, 4 classes, 1x8x8 images with learnable class structure."""
+    num_classes, per_class = 4, 12
+    templates = rng.random((num_classes, 1, 8, 8))
+    labels = np.repeat(np.arange(num_classes), per_class)
+    inputs = np.clip(templates[labels] + rng.normal(0, 0.15, (len(labels), 1, 8, 8)), 0, 1)
+    return Dataset(inputs, labels, num_classes)
+
+
+@pytest.fixture
+def tiny_vector_dataset(rng):
+    """60 samples, 3 classes, 10-dim vectors."""
+    num_classes, per_class = 3, 20
+    prototypes = rng.normal(size=(num_classes, 10)) * 2.0
+    labels = np.repeat(np.arange(num_classes), per_class)
+    inputs = prototypes[labels] + rng.normal(0, 0.5, (len(labels), 10))
+    return Dataset(inputs, labels, num_classes)

@@ -1,0 +1,83 @@
+"""Distribution-level properties of the blend — the mechanism behind CIP.
+
+These tests pin the *why* of the defense: blending with a secret t shifts
+the input distribution seen by the model, the shift is invisible to an
+adversary who blends with the wrong t, and clipping makes the interaction
+between x and t nonlinear (which is what prevents a model from simply
+absorbing the perturbation as a bias).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.blending import blend_arrays
+
+
+RNG = np.random.default_rng(0)
+X = RNG.random((200, 24))
+T_TRUE = RNG.random(24)
+T_GUESS = RNG.random(24)
+
+
+class TestDistributionShift:
+    def test_blend_changes_the_mean(self):
+        a_true, _ = blend_arrays(X, T_TRUE, 0.7)
+        assert np.abs(a_true.mean(axis=0) - X.mean(axis=0)).max() > 0.05
+
+    def test_wrong_guess_lands_in_a_different_place(self):
+        a_true, b_true = blend_arrays(X, T_TRUE, 0.7)
+        a_guess, b_guess = blend_arrays(X, T_GUESS, 0.7)
+        gap = np.abs(a_true.mean(axis=0) - a_guess.mean(axis=0)).mean()
+        assert gap > 0.05  # the adversary's queries live elsewhere
+
+    def test_shift_magnitude_grows_with_alpha(self):
+        gaps = []
+        for alpha in (0.1, 0.5, 0.9):
+            a, _ = blend_arrays(X, T_TRUE, alpha, clip_range=None)
+            gaps.append(np.abs(a.mean(axis=0) - X.mean(axis=0)).mean())
+        assert gaps[0] < gaps[1] < gaps[2]
+
+    def test_zero_guess_scales_the_distribution(self):
+        a, b = blend_arrays(X, None, 0.5, clip_range=None)
+        np.testing.assert_allclose(a.mean(axis=0), 0.5 * X.mean(axis=0))
+        np.testing.assert_allclose(b.mean(axis=0), 1.5 * X.mean(axis=0))
+
+
+class TestClippingNonlinearity:
+    def test_clipping_is_sample_dependent(self):
+        """Which coordinates clip depends on x, not only on t — the
+        interaction a first linear layer cannot absorb as a bias."""
+        _, b = blend_arrays(X, T_TRUE, 0.9)
+        clipped_fraction_per_sample = (
+            ((1 + 0.9) * X - 0.9 * T_TRUE > 1.0).mean(axis=1)
+        )
+        assert clipped_fraction_per_sample.std() > 0.01
+
+    def test_unclipped_blend_is_affine_in_x(self):
+        """Without clipping, B(x) - B(x') depends only on x - x'."""
+        x1, x2 = X[:50], X[50:100]
+        a1, b1 = blend_arrays(x1, T_TRUE, 0.7, clip_range=None)
+        a2, b2 = blend_arrays(x2, T_TRUE, 0.7, clip_range=None)
+        np.testing.assert_allclose(a1 - a2, 0.3 * (x1 - x2), atol=1e-12)
+        np.testing.assert_allclose(b1 - b2, 1.7 * (x1 - x2), atol=1e-12)
+
+    def test_clipped_blend_is_not_affine_in_x(self):
+        x1, x2 = X[:50], X[50:100]
+        _, b1 = blend_arrays(x1, T_TRUE, 0.9)
+        _, b2 = blend_arrays(x2, T_TRUE, 0.9)
+        deviation = np.abs((b1 - b2) - 1.9 * (x1 - x2)).max()
+        assert deviation > 0.05
+
+
+class TestBinaryDegeneracy:
+    def test_binary_inputs_degenerate_channel_b(self):
+        """For 0/1 inputs the clipped second channel reduces to x itself —
+        the failure mode documented in EXPERIMENTS.md note 3."""
+        binary = (RNG.random((100, 24)) < 0.5).astype(np.float64)
+        _, b = blend_arrays(binary, T_TRUE, 0.7)
+        np.testing.assert_allclose(b, binary, atol=1e-12)
+
+    def test_interior_inputs_do_not_degenerate(self):
+        interior = 0.2 + 0.6 * RNG.random((100, 24))
+        _, b = blend_arrays(interior, T_TRUE, 0.7)
+        assert np.abs(b - interior).max() > 0.05

@@ -1,0 +1,91 @@
+"""The blending function B(x, t) of Eq. (2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.blending import blend, blend_arrays, invert_blend
+from repro.nn.tensor import Tensor
+
+
+RNG = np.random.default_rng(0)
+X = RNG.random((4, 3, 6, 6))
+T_PERT = RNG.random((3, 6, 6))
+
+
+class TestBlendArrays:
+    def test_equation_two(self):
+        alpha = 0.3
+        a, b = blend_arrays(X, T_PERT, alpha, clip_range=None)
+        np.testing.assert_allclose(a, (1 - alpha) * X + alpha * T_PERT)
+        np.testing.assert_allclose(b, (1 + alpha) * X - alpha * T_PERT)
+
+    def test_zero_alpha_is_identity_pair(self):
+        a, b = blend_arrays(X, T_PERT, 0.0, clip_range=None)
+        np.testing.assert_allclose(a, X)
+        np.testing.assert_allclose(b, X)
+
+    def test_none_t_is_zero_perturbation(self):
+        a, b = blend_arrays(X, None, 0.5, clip_range=None)
+        np.testing.assert_allclose(a, 0.5 * X)
+        np.testing.assert_allclose(b, 1.5 * X)
+
+    def test_clipping(self):
+        a, b = blend_arrays(X, T_PERT, 0.9)
+        assert a.min() >= 0.0 and a.max() <= 1.0
+        assert b.min() >= 0.0 and b.max() <= 1.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            blend_arrays(X, np.zeros((2, 6, 6)), 0.5)
+
+    def test_sum_recovers_scaled_x_unclipped(self):
+        """a + b == 2x regardless of t (pre-clip) — the info-preservation core."""
+        a, b = blend_arrays(X, T_PERT, 0.7, clip_range=None)
+        np.testing.assert_allclose(a + b, 2 * X, atol=1e-12)
+
+
+class TestInvertBlend:
+    def test_round_trip(self):
+        alpha = 0.4
+        a, b = blend_arrays(X, T_PERT, alpha, clip_range=None)
+        x_rec, t_rec = invert_blend(a, b, alpha)
+        np.testing.assert_allclose(x_rec, X, atol=1e-10)
+        np.testing.assert_allclose(t_rec, np.broadcast_to(T_PERT, X.shape), atol=1e-10)
+
+    def test_alpha_zero_not_invertible(self):
+        with pytest.raises(ValueError):
+            invert_blend(X, X, 0.0)
+
+
+class TestBlendTensors:
+    def test_matches_arrays(self):
+        t = Tensor(T_PERT)
+        a, b = blend(Tensor(X), t, 0.5)
+        a_ref, b_ref = blend_arrays(X, T_PERT, 0.5)
+        np.testing.assert_allclose(a.data, a_ref)
+        np.testing.assert_allclose(b.data, b_ref)
+
+    def test_gradient_flows_to_t(self):
+        t = Tensor(T_PERT.copy(), requires_grad=True)
+        a, b = blend(X, t, 0.5, clip_range=None)
+        (a.sum() + b.sum()).backward()
+        # d/dt[(1-a)x + at] + d/dt[(1+a)x - at] = a - a = 0 summed over batch
+        np.testing.assert_allclose(t.grad, np.zeros_like(T_PERT), atol=1e-10)
+
+    def test_gradient_to_t_single_channel(self):
+        t = Tensor(T_PERT.copy(), requires_grad=True)
+        a, _ = blend(X, t, 0.5, clip_range=None)
+        a.sum().backward()
+        # each batch element contributes alpha
+        np.testing.assert_allclose(t.grad, 0.5 * len(X) * np.ones_like(T_PERT))
+
+    def test_clip_blocks_gradient_outside_range(self):
+        x = np.zeros((1, 2))
+        t = Tensor(np.array([5.0, 0.5]), requires_grad=True)
+        a, _ = blend(x, t, 1.0, clip_range=(0.0, 1.0))  # a = t clipped
+        a.sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0])
+
+    def test_accepts_none_t(self):
+        a, b = blend(Tensor(X), None, 0.5)
+        assert a.shape == X.shape and b.shape == X.shape

@@ -1,0 +1,62 @@
+"""CIP state persistence (model weights + the secret t)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import CIPConfig, Perturbation, load_cip_state, save_cip_state
+from repro.nn.models import build_model
+from repro.nn.serialization import state_dicts_allclose
+
+
+def make_artifacts(seed=0):
+    model = build_model("mlp", 4, in_features=16, hidden=(8,), dual_channel=True, seed=seed)
+    config = CIPConfig(alpha=0.7, lambda_m=1e-6, original_loss_cap=3.5)
+    perturbation = Perturbation((16,), config, seed=seed)
+    return model, perturbation
+
+
+def test_round_trip(tmp_path):
+    model, perturbation = make_artifacts()
+    directory = str(tmp_path / "client0")
+    model_path, secret_path = save_cip_state(model, perturbation, directory)
+    assert os.path.exists(model_path)
+    assert os.path.exists(secret_path)
+
+    fresh = build_model("mlp", 4, in_features=16, hidden=(8,), dual_channel=True, seed=99)
+    restored = load_cip_state(fresh, directory)
+    assert state_dicts_allclose(fresh.state_dict(), model.state_dict())
+    np.testing.assert_allclose(restored.value, perturbation.value)
+
+
+def test_config_restored(tmp_path):
+    model, perturbation = make_artifacts()
+    directory = str(tmp_path / "client1")
+    save_cip_state(model, perturbation, directory)
+    restored = load_cip_state(make_artifacts(seed=1)[0], directory)
+    assert restored.config.alpha == 0.7
+    assert restored.config.original_loss_cap == 3.5
+    assert restored.config.clip_range == (0.0, 1.0)
+
+
+def test_secret_is_separate_file(tmp_path):
+    """The secret never lives in the (shareable) model file."""
+    model, perturbation = make_artifacts()
+    directory = str(tmp_path / "client2")
+    model_path, secret_path = save_cip_state(model, perturbation, directory)
+    with np.load(model_path) as archive:
+        assert "t" not in archive.files
+
+
+def test_restored_perturbation_still_optimizable(tmp_path):
+    model, perturbation = make_artifacts()
+    directory = str(tmp_path / "client3")
+    save_cip_state(model, perturbation, directory)
+    restored = load_cip_state(model, directory)
+    rng = np.random.default_rng(0)
+    inputs = rng.random((8, 16))
+    labels = rng.integers(0, 4, 8)
+    before = restored.value
+    restored.step(model, inputs, labels)
+    assert not np.allclose(restored.value, before)

@@ -1,0 +1,76 @@
+"""Theorem 1 quantities."""
+
+import numpy as np
+import pytest
+
+from repro.core.theory import (
+    adversarial_advantage,
+    check_theorem1,
+    membership_posterior,
+    theorem1_epsilon,
+)
+
+
+class TestPosterior:
+    def test_low_loss_means_member(self):
+        post = membership_posterior(np.array([0.0, 5.0]), reference_loss=2.0)
+        assert post[0] > 0.5 > post[1]
+
+    def test_loss_at_reference_gives_prior(self):
+        post = membership_posterior(np.array([2.0]), reference_loss=2.0, prior=0.5)
+        np.testing.assert_allclose(post, [0.5])
+
+    def test_prior_shifts_posterior(self):
+        high = membership_posterior(np.array([2.0]), 2.0, prior=0.9)
+        low = membership_posterior(np.array([2.0]), 2.0, prior=0.1)
+        assert high[0] > low[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            membership_posterior(np.zeros(1), 0.0, temperature=0.0)
+        with pytest.raises(ValueError):
+            membership_posterior(np.zeros(1), 0.0, prior=1.0)
+
+
+class TestAdvantage:
+    def test_advantage_monotone_in_loss(self):
+        adv = adversarial_advantage(np.array([0.0, 1.0, 2.0]), reference_loss=1.0)
+        assert adv[0] > adv[1] > adv[2]
+
+    def test_advantage_one_at_reference(self):
+        adv = adversarial_advantage(np.array([1.0]), reference_loss=1.0)
+        np.testing.assert_allclose(adv, [1.0])
+
+
+class TestTheorem1:
+    def test_epsilon_below_one_when_guess_is_worse(self):
+        eps = theorem1_epsilon(np.array([0.5]), np.array([2.0]), temperature=1.0)
+        assert eps[0] < 1.0
+        np.testing.assert_allclose(eps, np.exp(-1.5))
+
+    def test_epsilon_equals_one_for_perfect_guess(self):
+        eps = theorem1_epsilon(np.array([0.5]), np.array([0.5]))
+        np.testing.assert_allclose(eps, [1.0])
+
+    def test_temperature_scales_gap(self):
+        tight = theorem1_epsilon(np.array([0.0]), np.array([1.0]), temperature=0.5)
+        loose = theorem1_epsilon(np.array([0.0]), np.array([1.0]), temperature=5.0)
+        assert tight[0] < loose[0] < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem1_epsilon(np.zeros(1), np.zeros(1), temperature=-1.0)
+
+    def test_check_summary(self):
+        true_losses = np.array([0.1, 0.2, 0.3])
+        guessed = np.array([1.0, 1.5, 2.0])
+        check = check_theorem1(true_losses, guessed)
+        assert check.assumption_holds
+        assert check.bound_holds_on_average
+        assert check.fraction_bounded == 1.0
+        assert check.mean_loss_true_t < check.mean_loss_guessed_t
+
+    def test_check_flags_violated_assumption(self):
+        check = check_theorem1(np.array([2.0]), np.array([1.0]))
+        assert not check.assumption_holds
+        assert check.mean_epsilon > 1.0

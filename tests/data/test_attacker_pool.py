@@ -1,0 +1,36 @@
+"""Attacker-side shadow data pools."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_attacker_pool, load_dataset
+
+
+class TestAttackerPool:
+    @pytest.mark.parametrize("name", ["cifar100", "cifar_aug", "chmnist", "purchase50"])
+    def test_matches_victim_geometry(self, name):
+        bundle = load_dataset(name, seed=0, samples_per_class=3)
+        pool = load_attacker_pool(name, seed=0, samples_per_class=3)
+        assert pool.input_shape == bundle.train.input_shape
+        assert pool.num_classes == bundle.num_classes
+
+    def test_disjoint_from_train_and_test(self):
+        bundle = load_dataset("cifar100", seed=0, samples_per_class=3)
+        pool = load_attacker_pool("cifar100", seed=0, samples_per_class=3)
+        # same templates, different noise draw: no identical samples
+        assert not np.isin(pool.inputs.ravel()[:100], bundle.train.inputs.ravel()).all()
+        assert not np.allclose(pool.inputs[:3], bundle.train.inputs[:3])
+
+    def test_same_population(self):
+        """Per-class means agree across the victim's and the attacker's draws."""
+        bundle = load_dataset("chmnist", seed=0, samples_per_class=20)
+        pool = load_attacker_pool("chmnist", seed=0, samples_per_class=20)
+        for k in range(bundle.num_classes):
+            mu_victim = bundle.train.inputs[bundle.train.labels == k].mean(axis=0)
+            mu_attacker = pool.inputs[pool.labels == k].mean(axis=0)
+            assert np.abs(mu_victim - mu_attacker).mean() < 0.1
+
+    def test_deterministic(self):
+        a = load_attacker_pool("purchase50", seed=1, samples_per_class=2)
+        b = load_attacker_pool("purchase50", seed=1, samples_per_class=2)
+        np.testing.assert_array_equal(a.inputs, b.inputs)

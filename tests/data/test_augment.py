@@ -1,0 +1,107 @@
+"""Augmentation transforms (the CIFAR-AUG pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.data.augment import (
+    AugmentationPipeline,
+    center_crop,
+    cifar_aug_pipeline,
+    random_crop,
+    random_horizontal_flip,
+    resize,
+)
+
+
+RNG = np.random.default_rng(0)
+IMAGES = RNG.random((4, 3, 12, 12))
+
+
+class TestResize:
+    def test_identity(self):
+        np.testing.assert_array_equal(resize(IMAGES, 12, 12), IMAGES)
+
+    def test_upscale_shape(self):
+        out = resize(IMAGES, 16, 20)
+        assert out.shape == (4, 3, 16, 20)
+
+    def test_preserves_constant_images(self):
+        const = np.full((1, 1, 6, 6), 0.37)
+        out = resize(const, 11, 11)
+        np.testing.assert_allclose(out, 0.37)
+
+    def test_preserves_range(self):
+        out = resize(IMAGES, 17, 17)
+        assert out.min() >= IMAGES.min() - 1e-9
+        assert out.max() <= IMAGES.max() + 1e-9
+
+    def test_downscale_averages(self):
+        # 2x2 checkerboard down to 1x1 equals its mean.
+        img = np.array([[[[0.0, 1.0], [1.0, 0.0]]]])
+        out = resize(img, 1, 1)
+        np.testing.assert_allclose(out, 0.5)
+
+
+class TestCrops:
+    def test_random_crop_shape_and_content(self):
+        rng = np.random.default_rng(1)
+        out = random_crop(IMAGES, 8, rng)
+        assert out.shape == (4, 3, 8, 8)
+        # each crop is a contiguous window of the source
+        found = False
+        for oy in range(5):
+            for ox in range(5):
+                if np.allclose(out[0], IMAGES[0, :, oy : oy + 8, ox : ox + 8]):
+                    found = True
+        assert found
+
+    def test_crop_too_large(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            random_crop(IMAGES, 13, rng)
+
+    def test_center_crop(self):
+        out = center_crop(IMAGES, 8)
+        np.testing.assert_array_equal(out, IMAGES[:, :, 2:10, 2:10])
+
+
+class TestFlip:
+    def test_flip_probability_one(self):
+        rng = np.random.default_rng(3)
+        out = random_horizontal_flip(IMAGES, rng, probability=1.0)
+        np.testing.assert_array_equal(out, IMAGES[:, :, :, ::-1])
+
+    def test_flip_probability_zero(self):
+        rng = np.random.default_rng(4)
+        out = random_horizontal_flip(IMAGES, rng, probability=0.0)
+        np.testing.assert_array_equal(out, IMAGES)
+
+    def test_flip_does_not_mutate_input(self):
+        rng = np.random.default_rng(5)
+        snapshot = IMAGES.copy()
+        random_horizontal_flip(IMAGES, rng, probability=1.0)
+        np.testing.assert_array_equal(IMAGES, snapshot)
+
+
+class TestPipeline:
+    def test_empty_pipeline_is_identity(self):
+        pipeline = AugmentationPipeline([])
+        np.testing.assert_array_equal(pipeline(IMAGES), IMAGES)
+        assert len(pipeline) == 0
+
+    def test_cifar_aug_pipeline_round_trip_shape(self):
+        pipeline = cifar_aug_pipeline(base_size=12, upscale=14, crop=12, seed=0)
+        out = pipeline(IMAGES)
+        assert out.shape == IMAGES.shape
+        assert len(pipeline) == 3
+
+    def test_cifar_aug_pipeline_validates_crop(self):
+        with pytest.raises(ValueError):
+            cifar_aug_pipeline(base_size=12, upscale=16, crop=10)
+
+    def test_pipeline_is_stochastic_but_seeded(self):
+        a = cifar_aug_pipeline(12, 14, 12, seed=5)(IMAGES)
+        b = cifar_aug_pipeline(12, 14, 12, seed=5)(IMAGES)
+        np.testing.assert_array_equal(a, b)
+        c = cifar_aug_pipeline(12, 14, 12, seed=6)(IMAGES)
+        assert not np.allclose(a, c)

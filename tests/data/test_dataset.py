@@ -1,0 +1,125 @@
+"""Dataset container and DataLoader behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import DataLoader, Dataset, train_test_split
+
+
+def make_dataset(n=20, classes=4, dim=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.normal(size=(n, dim)), rng.integers(0, classes, n), classes)
+
+
+class TestDataset:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4, dtype=int), 2)
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.array([0, 1, 5]), 2)
+
+    def test_len_and_shapes(self):
+        ds = make_dataset(10, dim=7)
+        assert len(ds) == 10
+        assert ds.input_shape == (7,)
+        assert not ds.is_image
+
+    def test_is_image(self):
+        ds = Dataset(np.zeros((2, 3, 4, 4)), np.zeros(2, dtype=int), 2)
+        assert ds.is_image
+        assert ds.input_shape == (3, 4, 4)
+
+    def test_subset_copies(self):
+        ds = make_dataset()
+        sub = ds.subset([0, 1])
+        sub.inputs[:] = 99.0
+        assert not np.allclose(ds.inputs[:2], 99.0)
+
+    def test_split_partitions_everything(self):
+        ds = make_dataset(20)
+        a, b = ds.split(0.25, seed=1)
+        assert len(a) == 5 and len(b) == 15
+        combined = np.sort(np.concatenate([a.inputs, b.inputs]), axis=0)
+        np.testing.assert_allclose(combined, np.sort(ds.inputs, axis=0))
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            make_dataset().split(0.0)
+
+    def test_split_deterministic(self):
+        ds = make_dataset()
+        a1, _ = ds.split(0.5, seed=7)
+        a2, _ = ds.split(0.5, seed=7)
+        np.testing.assert_array_equal(a1.inputs, a2.inputs)
+
+    def test_shuffled_preserves_pairs(self):
+        ds = make_dataset(30)
+        shuffled = ds.shuffled(seed=3)
+        # every (input, label) pair from the original appears once
+        order = np.lexsort(ds.inputs.T)
+        order_s = np.lexsort(shuffled.inputs.T)
+        np.testing.assert_allclose(ds.inputs[order], shuffled.inputs[order_s])
+        np.testing.assert_array_equal(ds.labels[order], shuffled.labels[order_s])
+
+    def test_take(self):
+        ds = make_dataset(10)
+        assert len(ds.take(3)) == 3
+        assert len(ds.take(99)) == 10
+
+    def test_class_counts(self):
+        ds = Dataset(np.zeros((4, 1)), np.array([0, 0, 1, 2]), 4)
+        np.testing.assert_array_equal(ds.class_counts(), [2, 1, 1, 0])
+        np.testing.assert_array_equal(ds.classes_present(), [0, 1, 2])
+
+    def test_concatenate(self):
+        a, b = make_dataset(5), make_dataset(7, seed=1)
+        merged = Dataset.concatenate([a, b])
+        assert len(merged) == 12
+
+    def test_concatenate_validation(self):
+        with pytest.raises(ValueError):
+            Dataset.concatenate([])
+        a = make_dataset(5, classes=3)
+        b = make_dataset(5, classes=4)
+        with pytest.raises(ValueError):
+            Dataset.concatenate([a, b])
+
+
+class TestDataLoader:
+    def test_covers_dataset_once_per_epoch(self):
+        ds = make_dataset(17)
+        loader = DataLoader(ds, batch_size=5, shuffle=True, seed=0)
+        seen = sum(len(labels) for _, labels in loader)
+        assert seen == 17
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        ds = make_dataset(17)
+        loader = DataLoader(ds, batch_size=5, drop_last=True, seed=0)
+        batches = list(loader)
+        assert len(batches) == 3
+        assert all(len(labels) == 5 for _, labels in batches)
+        assert len(loader) == 3
+
+    def test_no_shuffle_is_in_order(self):
+        ds = make_dataset(10)
+        loader = DataLoader(ds, batch_size=4, shuffle=False)
+        first_inputs, _ = next(iter(loader))
+        np.testing.assert_allclose(first_inputs, ds.inputs[:4])
+
+    def test_reshuffles_between_epochs(self):
+        ds = make_dataset(64)
+        loader = DataLoader(ds, batch_size=64, shuffle=True, seed=0)
+        epoch1, _ = next(iter(loader))
+        epoch2, _ = next(iter(loader))
+        assert not np.allclose(epoch1, epoch2)
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(), batch_size=0)
+
+
+def test_train_test_split():
+    ds = make_dataset(40)
+    train, test = train_test_split(ds, test_fraction=0.25, seed=0)
+    assert len(train) == 30 and len(test) == 10

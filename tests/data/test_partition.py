@@ -1,0 +1,92 @@
+"""FL data partitioning (i.i.d. and Naseri-style non-i.i.d.)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.partition import (
+    heterogeneity_emd,
+    partition_by_classes,
+    partition_iid,
+)
+
+
+def make_dataset(n_per_class=10, classes=6):
+    labels = np.repeat(np.arange(classes), n_per_class)
+    inputs = labels[:, None] + np.linspace(0, 0.5, n_per_class * classes)[:, None]
+    return Dataset(inputs.astype(float), labels, classes)
+
+
+class TestIID:
+    def test_equal_shards(self):
+        ds = make_dataset()
+        shards = partition_iid(ds, 4, seed=0)
+        assert len(shards) == 4
+        assert all(len(s) == 15 for s in shards)
+
+    def test_no_sample_duplication(self):
+        ds = make_dataset()
+        shards = partition_iid(ds, 3, seed=0)
+        values = np.concatenate([s.inputs.ravel() for s in shards])
+        assert len(np.unique(values)) == len(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_iid(make_dataset(), 0)
+        with pytest.raises(ValueError):
+            partition_iid(make_dataset(1, 2), 5)
+
+
+class TestNonIID:
+    def test_each_client_has_exactly_k_classes(self):
+        ds = make_dataset()
+        shards = partition_by_classes(ds, 4, classes_per_client=2, seed=0)
+        for shard in shards:
+            assert len(shard.classes_present()) <= 2
+
+    def test_equal_shard_sizes(self):
+        ds = make_dataset()
+        shards = partition_by_classes(ds, 3, classes_per_client=2, seed=0)
+        assert all(len(s) == len(ds) // 3 for s in shards)
+
+    def test_full_classes_recovers_iid_diversity(self):
+        ds = make_dataset()
+        shards = partition_by_classes(ds, 3, classes_per_client=6, seed=0)
+        # i.i.d. setting: most classes present at each client
+        for shard in shards:
+            assert len(shard.classes_present()) >= 4
+
+    def test_custom_samples_per_client(self):
+        ds = make_dataset()
+        shards = partition_by_classes(ds, 2, 3, seed=0, samples_per_client=7)
+        assert all(len(s) == 7 for s in shards)
+
+    def test_deterministic(self):
+        ds = make_dataset()
+        a = partition_by_classes(ds, 3, 2, seed=9)
+        b = partition_by_classes(ds, 3, 2, seed=9)
+        for sa, sb in zip(a, b):
+            np.testing.assert_array_equal(sa.inputs, sb.inputs)
+
+    def test_validation(self):
+        ds = make_dataset()
+        with pytest.raises(ValueError):
+            partition_by_classes(ds, 3, 0)
+        with pytest.raises(ValueError):
+            partition_by_classes(ds, 3, 99)
+
+
+class TestHeterogeneityEMD:
+    def test_fewer_classes_more_heterogeneous(self):
+        ds = make_dataset(20, 6)
+        narrow = partition_by_classes(ds, 4, 1, seed=0)
+        wide = partition_by_classes(ds, 4, 6, seed=0)
+        assert heterogeneity_emd(narrow) > heterogeneity_emd(wide)
+
+    def test_single_shard_zero(self):
+        ds = make_dataset()
+        assert heterogeneity_emd([ds]) == 0.0
+
+    def test_identical_shards_zero(self):
+        ds = make_dataset()
+        assert heterogeneity_emd([ds, ds]) == 0.0

@@ -1,0 +1,126 @@
+"""Synthetic dataset generators: determinism, structure, learnability."""
+
+import numpy as np
+import pytest
+
+from repro.data.benchmarks import (
+    CIFAR100_SPEC,
+    load_cifar100,
+    load_cifar_aug,
+    load_chmnist,
+    load_dataset,
+    load_purchase50,
+    default_architecture,
+    default_model_kwargs,
+    default_training,
+)
+from repro.data.synthetic import (
+    ImageSpec,
+    TabularSpec,
+    class_templates,
+    generate_image_dataset,
+    generate_tabular_dataset,
+    tabular_prototypes,
+)
+
+
+class TestImageGenerator:
+    SPEC = ImageSpec(num_classes=5, channels=2, height=8, width=8, noise_scale=0.1)
+
+    def test_shapes_and_range(self):
+        ds = generate_image_dataset(self.SPEC, 4, seed=0)
+        assert ds.inputs.shape == (20, 2, 8, 8)
+        assert ds.inputs.min() >= 0.0 and ds.inputs.max() <= 1.0
+        np.testing.assert_array_equal(np.bincount(ds.labels), [4] * 5)
+
+    def test_deterministic(self):
+        a = generate_image_dataset(self.SPEC, 4, seed=7)
+        b = generate_image_dataset(self.SPEC, 4, seed=7)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_splits_share_templates_but_not_noise(self):
+        train = generate_image_dataset(self.SPEC, 10, seed=0, split="train")
+        test = generate_image_dataset(self.SPEC, 10, seed=0, split="test")
+        assert not np.allclose(train.inputs, test.inputs)
+        # same class structure: per-class means close across splits
+        for k in range(self.SPEC.num_classes):
+            mu_train = train.inputs[train.labels == k].mean(axis=0)
+            mu_test = test.inputs[test.labels == k].mean(axis=0)
+            assert np.abs(mu_train - mu_test).mean() < 0.15
+
+    def test_intra_class_tighter_than_inter_class(self):
+        ds = generate_image_dataset(self.SPEC, 10, seed=0)
+        templates = class_templates(self.SPEC, 0)
+        same = np.linalg.norm(
+            (ds.inputs[ds.labels == 0] - templates[0]).reshape(-1)
+        ) / np.sum(ds.labels == 0)
+        cross = np.linalg.norm(
+            (ds.inputs[ds.labels == 0] - templates[1]).reshape(-1)
+        ) / np.sum(ds.labels == 0)
+        assert same < cross
+
+    def test_templates_in_range(self):
+        templates = class_templates(CIFAR100_SPEC, 3)
+        assert templates.min() >= 0.0 and templates.max() <= 1.0
+
+
+class TestTabularGenerator:
+    SPEC = TabularSpec(num_classes=6, num_features=16, flip_probability=0.1)
+
+    def test_binary_and_shapes(self):
+        ds = generate_tabular_dataset(self.SPEC, 5, seed=0)
+        assert ds.inputs.shape == (30, 16)
+        assert set(np.unique(ds.inputs)) <= {0.0, 1.0}
+
+    def test_flip_rate_matches(self):
+        spec = TabularSpec(num_classes=2, num_features=1000, flip_probability=0.2)
+        prototypes = tabular_prototypes(spec, 0)
+        ds = generate_tabular_dataset(spec, 50, seed=0)
+        flips = np.abs(ds.inputs - prototypes[ds.labels]).mean()
+        assert abs(flips - 0.2) < 0.02
+
+    def test_deterministic(self):
+        a = generate_tabular_dataset(self.SPEC, 5, seed=1)
+        b = generate_tabular_dataset(self.SPEC, 5, seed=1)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+
+class TestBenchmarkLoaders:
+    def test_all_loaders(self):
+        for name in ("cifar100", "cifar_aug", "chmnist", "purchase50"):
+            bundle = load_dataset(name, seed=0, samples_per_class=3)
+            assert len(bundle.train) == len(bundle.test)
+            assert bundle.name == name
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            load_dataset("imagenet")
+
+    def test_cifar_aug_has_pipeline(self):
+        bundle = load_cifar_aug(seed=0, samples_per_class=3)
+        assert bundle.augmentation is not None
+        out = bundle.augmentation(bundle.train.inputs[:2])
+        assert out.shape == bundle.train.inputs[:2].shape
+
+    def test_plain_cifar_has_no_pipeline(self):
+        assert load_cifar100(seed=0, samples_per_class=3).augmentation is None
+
+    def test_chmnist_grayscale(self):
+        bundle = load_chmnist(seed=0, samples_per_class=3)
+        assert bundle.train.inputs.shape[1] == 1
+        assert bundle.num_classes == 8
+
+    def test_purchase_is_tabular(self):
+        bundle = load_purchase50(seed=0, samples_per_class=2)
+        assert not bundle.is_image
+        assert bundle.num_classes == 50
+
+    def test_defaults_api(self):
+        assert default_architecture("purchase50") == "mlp"
+        assert default_architecture("cifar100") == "resnet"
+        assert "in_features" in default_model_kwargs("purchase50")
+        assert "in_channels" in default_model_kwargs("chmnist")
+        assert default_training("cifar100").epochs > 0
+        with pytest.raises(ValueError):
+            default_training("unknown")

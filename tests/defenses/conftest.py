@@ -1,0 +1,15 @@
+"""Defense-test fixtures: reuse the attack suite's overfit target."""
+
+import pytest
+
+from tests.attacks.conftest import (  # noqa: F401  (re-exported fixtures)
+    _make_pools,
+    NUM_CLASSES,
+    DIM,
+)
+from tests.attacks import conftest as attack_conftest
+
+# Re-register the session fixtures under this package.
+overfit_pools = attack_conftest.overfit_pools
+overfit_target = attack_conftest.overfit_target
+attack_data = attack_conftest.attack_data

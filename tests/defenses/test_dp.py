@@ -1,0 +1,128 @@
+"""DP-SGD mechanism, the RDP accountant, and the local-DP FL client."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.partition import partition_iid
+from repro.defenses.dp import (
+    DPClient,
+    DPConfig,
+    DPTrainer,
+    epsilon_for,
+    noise_multiplier_for_epsilon,
+    rdp_gaussian,
+)
+from repro.fl.client import ClientConfig
+from repro.fl.server import FLServer
+from repro.fl.simulation import FederatedSimulation
+from repro.fl.training import evaluate_model
+from repro.nn.models import build_model
+
+
+def factory():
+    return build_model("mlp", 3, in_features=10, hidden=(16,), seed=0)
+
+
+class TestAccountant:
+    def test_rdp_gaussian_formula(self):
+        assert rdp_gaussian(2.0, 4.0) == pytest.approx(4.0 / 8.0)
+
+    def test_epsilon_decreases_with_noise(self):
+        eps_small = epsilon_for(0.5, steps=100, sampling_rate=0.1, delta=1e-5)
+        eps_large = epsilon_for(4.0, steps=100, sampling_rate=0.1, delta=1e-5)
+        assert eps_large < eps_small
+
+    def test_epsilon_increases_with_steps(self):
+        short = epsilon_for(1.0, steps=10, sampling_rate=0.1, delta=1e-5)
+        long = epsilon_for(1.0, steps=1000, sampling_rate=0.1, delta=1e-5)
+        assert long > short
+
+    def test_zero_noise_infinite_epsilon(self):
+        assert epsilon_for(0.0, 10, 0.1, 1e-5) == math.inf
+
+    def test_inverse_consistent(self):
+        for epsilon in (1.0, 8.0, 32.0):
+            noise = noise_multiplier_for_epsilon(epsilon, steps=50, sampling_rate=0.2)
+            achieved = epsilon_for(noise, 50, 0.2, 1e-5)
+            assert achieved <= epsilon * 1.05
+
+    def test_larger_epsilon_needs_less_noise(self):
+        tight = noise_multiplier_for_epsilon(1.0, 50, 0.2)
+        loose = noise_multiplier_for_epsilon(32.0, 50, 0.2)
+        assert loose < tight
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            noise_multiplier_for_epsilon(0.0, 10, 0.1)
+
+
+class TestDPTrainer:
+    def test_trains_without_crashing_and_reports_noise(self, tiny_vector_dataset):
+        model = factory()
+        trainer = DPTrainer(model, DPConfig(epsilon=8.0, lr=0.05), seed=0)
+        losses = trainer.train(tiny_vector_dataset, epochs=2, batch_size=16, seed=0)
+        assert len(losses) == 2
+        assert trainer.resolved_noise_multiplier > 0
+        assert trainer.steps_taken > 0
+
+    def test_explicit_noise_multiplier_respected(self, tiny_vector_dataset):
+        model = factory()
+        trainer = DPTrainer(
+            model, DPConfig(epsilon=8.0, noise_multiplier=0.123, lr=0.05), seed=0
+        )
+        trainer.train(tiny_vector_dataset, epochs=1, batch_size=16, seed=0)
+        assert trainer.resolved_noise_multiplier == 0.123
+
+    def test_low_epsilon_hurts_accuracy_more(self, tiny_vector_dataset):
+        def train_at(eps):
+            model = factory()
+            DPTrainer(model, DPConfig(epsilon=eps, lr=0.05), seed=0).train(
+                tiny_vector_dataset, epochs=5, batch_size=16, seed=0
+            )
+            return evaluate_model(model, tiny_vector_dataset).accuracy
+
+        # utility ordering: effectively-no-noise >> tight budget
+        assert train_at(1e6) > train_at(0.5) - 0.05
+
+    def test_adam_variant(self, tiny_vector_dataset):
+        model = factory()
+        trainer = DPTrainer(model, DPConfig(epsilon=8.0, optimizer="adam", lr=0.01), seed=0)
+        losses = trainer.train(tiny_vector_dataset, epochs=1, batch_size=16, seed=0)
+        assert np.isfinite(losses[0])
+
+    def test_invalid_optimizer(self):
+        with pytest.raises(ValueError):
+            DPTrainer(factory(), DPConfig(optimizer="rmsprop"))
+
+    def test_clipping_bounds_update(self, tiny_vector_dataset):
+        """With zero noise, the summed clipped gradient norm <= batch * C."""
+        model = factory()
+        config = DPConfig(epsilon=8.0, noise_multiplier=0.0, clip_norm=0.01, lr=1.0)
+        trainer = DPTrainer(model, config, seed=0)
+        inputs = tiny_vector_dataset.inputs[:8]
+        labels = tiny_vector_dataset.labels[:8]
+        trainer._dp_step(inputs, labels, noise=0.0)
+        total = math.sqrt(
+            sum(float(np.sum(p.grad**2)) for p in model.parameters() if p.grad is not None)
+        )
+        assert total <= 0.01 + 1e-9  # mean of 8 clipped-to-0.01 gradients
+
+
+class TestDPClient:
+    def test_federated_dp_round(self, tiny_vector_dataset):
+        shards = partition_iid(tiny_vector_dataset, 2, seed=0)
+        clients = [
+            DPClient(
+                i, shards[i], factory, DPConfig(epsilon=8.0, lr=0.05),
+                config=ClientConfig(lr=0.05), seed=i, total_rounds=3,
+            )
+            for i in range(2)
+        ]
+        server = FLServer(factory)
+        sim = FederatedSimulation(server, clients)
+        history = sim.run(3)
+        assert history.rounds == 3
+        assert all(np.isfinite(l) for losses in history.train_losses for l in losses.values())

@@ -1,0 +1,66 @@
+"""MemGuard output filter (and why it fails against model access)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import ObNNAttack, evaluate_attack
+from repro.defenses.memguard import MemGuardDefense, label_preservation_rate
+
+
+class TestFilter:
+    def test_labels_always_preserved(self, overfit_target, overfit_pools):
+        members, _ = overfit_pools
+        defense = MemGuardDefense(overfit_target, distortion_budget=1.5)
+        assert label_preservation_rate(defense, members.inputs) == 1.0
+
+    def test_distortion_within_budget(self, overfit_target, overfit_pools):
+        members, _ = overfit_pools
+        budget = 0.5
+        defense = MemGuardDefense(overfit_target, distortion_budget=budget)
+        raw = overfit_target.predict_proba(members.inputs)
+        filtered = defense.filter_posteriors(raw)
+        distortion = np.abs(filtered - raw).sum(axis=1)
+        assert (distortion <= budget + 1e-6).all()
+
+    def test_filtered_posteriors_are_distributions(self, overfit_target, overfit_pools):
+        members, _ = overfit_pools
+        defense = MemGuardDefense(overfit_target, distortion_budget=1.0)
+        filtered = defense.predict_proba(members.inputs)
+        np.testing.assert_allclose(filtered.sum(axis=1), np.ones(len(members)))
+        assert (filtered >= 0).all()
+
+    def test_entropy_increases(self, overfit_target, overfit_pools):
+        members, _ = overfit_pools
+        defense = MemGuardDefense(overfit_target, distortion_budget=1.5)
+        raw = overfit_target.predict_proba(members.inputs)
+        filtered = defense.filter_posteriors(raw)
+
+        def entropy(p):
+            return -(p * np.log(np.clip(p, 1e-12, None))).sum(axis=1).mean()
+
+        assert entropy(filtered) > entropy(raw)
+
+    def test_budget_validation(self, overfit_target):
+        with pytest.raises(ValueError):
+            MemGuardDefense(overfit_target, distortion_budget=3.0)
+
+    def test_zero_budget_is_identity(self, overfit_target, overfit_pools):
+        members, _ = overfit_pools
+        defense = MemGuardDefense(overfit_target, distortion_budget=0.0)
+        raw = overfit_target.predict_proba(members.inputs)
+        np.testing.assert_allclose(defense.filter_posteriors(raw), raw, atol=1e-9)
+
+
+class TestDefenseEffect:
+    def test_blunts_output_attack_but_not_whitebox_features(
+        self, overfit_target, attack_data
+    ):
+        guarded = MemGuardDefense(overfit_target, distortion_budget=1.5)
+        raw_report = evaluate_attack(ObNNAttack(epochs=30, seed=0), overfit_target, attack_data)
+        guarded_report = evaluate_attack(ObNNAttack(epochs=30, seed=0), guarded, attack_data)
+        assert guarded_report.accuracy <= raw_report.accuracy + 0.05
+        # the gradient surface is untouched (server's white-box view)
+        members = attack_data.eval_members.take(5)
+        raw_norms = overfit_target.per_sample_grad_norms(members.inputs, members.labels)
+        guarded_norms = guarded.per_sample_grad_norms(members.inputs, members.labels)
+        np.testing.assert_allclose(raw_norms, guarded_norms)

@@ -1,0 +1,146 @@
+"""HDP, adversarial regularization, Mixup+MMD, RelaxLoss."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.defenses.adv_reg import AdversarialRegularizationTrainer
+from repro.defenses.dp import DPConfig
+from repro.defenses.hdp import HandcraftedFeatureExtractor, HDPTrainer
+from repro.defenses.mixup_mmd import MixupMMDTrainer, mixup_batch, soft_cross_entropy
+from repro.defenses.relaxloss import RelaxLossTrainer
+from repro.fl.training import evaluate_model
+from repro.nn.models import build_model
+from repro.nn.tensor import Tensor
+
+
+def vector_factory():
+    return build_model("mlp", 3, in_features=10, hidden=(32,), seed=0)
+
+
+class TestHDP:
+    def test_extractor_is_frozen_and_deterministic(self, tiny_image_dataset):
+        ex_a = HandcraftedFeatureExtractor(1, num_filters=8, seed=5)
+        ex_b = HandcraftedFeatureExtractor(1, num_filters=8, seed=5)
+        feats_a = ex_a.transform(tiny_image_dataset.inputs[:4])
+        feats_b = ex_b.transform(tiny_image_dataset.inputs[:4])
+        np.testing.assert_allclose(feats_a, feats_b)
+        assert feats_a.shape == (4, 16)
+
+    def test_trains_and_evaluates_on_raw_inputs(self, tiny_image_dataset):
+        trainer = HDPTrainer(4, 1, DPConfig(epsilon=1e6, lr=0.1), num_filters=16, seed=0)
+        trainer.train(tiny_image_dataset, epochs=10, batch_size=16, seed=0)
+        result = evaluate_model(trainer.model, tiny_image_dataset)
+        assert result.accuracy > 0.3  # learns something through frozen features
+
+    def test_pipeline_accepts_tensor_and_array(self, tiny_image_dataset):
+        trainer = HDPTrainer(4, 1, DPConfig(epsilon=8.0, lr=0.1), seed=0)
+        out_a = trainer.model(Tensor(tiny_image_dataset.inputs[:2]))
+        out_b = trainer.model(tiny_image_dataset.inputs[:2])
+        np.testing.assert_allclose(out_a.data, out_b.data)
+
+
+class TestAdversarialRegularization:
+    def test_trains_and_learns(self, tiny_vector_dataset):
+        train, reference = tiny_vector_dataset.split(0.6, seed=0)
+        model = vector_factory()
+        trainer = AdversarialRegularizationTrainer(
+            model, 3, reference, lam=0.5, lr=0.05, seed=0
+        )
+        losses = trainer.train(train, epochs=10, batch_size=16, seed=0)
+        assert len(losses) == 10
+        assert evaluate_model(model, train).accuracy > 0.5
+
+    def test_lambda_validation(self, tiny_vector_dataset):
+        with pytest.raises(ValueError):
+            AdversarialRegularizationTrainer(
+                vector_factory(), 3, tiny_vector_dataset, lam=-1.0
+            )
+
+    def test_inference_model_learns_membership(self, tiny_vector_dataset):
+        """After training, h scores members above the reference pool."""
+        train, reference = tiny_vector_dataset.split(0.6, seed=0)
+        model = vector_factory()
+        trainer = AdversarialRegularizationTrainer(model, 3, reference, lam=0.0, lr=0.05, seed=0)
+        trainer.train(train, epochs=15, batch_size=16, seed=0)
+        from repro.nn.functional import one_hot, softmax
+
+        member_scores = trainer.inference_model(
+            softmax(model(Tensor(train.inputs))).detach(),
+            Tensor(one_hot(train.labels, 3)),
+        ).data
+        reference_scores = trainer.inference_model(
+            softmax(model(Tensor(reference.inputs))).detach(),
+            Tensor(one_hot(reference.labels, 3)),
+        ).data
+        assert member_scores.mean() > reference_scores.mean()
+
+
+class TestMixupMMD:
+    def test_mixup_batch_convexity(self):
+        rng = np.random.default_rng(0)
+        inputs = rng.random((8, 5))
+        labels = rng.integers(0, 3, 8)
+        mixed, targets = mixup_batch(inputs, labels, 3, rng)
+        assert mixed.shape == inputs.shape
+        np.testing.assert_allclose(targets.sum(axis=1), np.ones(8))
+        assert mixed.min() >= inputs.min() - 1e-12
+        assert mixed.max() <= inputs.max() + 1e-12
+
+    def test_soft_cross_entropy_matches_hard_on_one_hot(self):
+        from repro.nn.functional import one_hot
+        from repro.nn.losses import cross_entropy
+
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(6, 3))
+        labels = rng.integers(0, 3, 6)
+        soft = soft_cross_entropy(Tensor(logits), one_hot(labels, 3))
+        hard = cross_entropy(Tensor(logits), labels)
+        np.testing.assert_allclose(soft.item(), hard.item(), atol=1e-12)
+
+    def test_trains(self, tiny_vector_dataset):
+        train, validation = tiny_vector_dataset.split(0.6, seed=0)
+        model = vector_factory()
+        trainer = MixupMMDTrainer(model, 3, validation, mu=1.0, lr=0.05, seed=0)
+        losses = trainer.train(train, epochs=8, batch_size=16, seed=0)
+        assert losses[-1] < losses[0]
+
+    def test_mu_validation(self, tiny_vector_dataset):
+        with pytest.raises(ValueError):
+            MixupMMDTrainer(vector_factory(), 3, tiny_vector_dataset, mu=-0.1)
+
+
+class TestRelaxLoss:
+    def test_keeps_loss_near_omega(self, tiny_vector_dataset):
+        """The defining behaviour: the final loss hovers at/above omega."""
+        omega = 0.8
+        model = vector_factory()
+        trainer = RelaxLossTrainer(model, 3, omega=omega, lr=0.05, seed=0)
+        losses = trainer.train(tiny_vector_dataset, epochs=25, batch_size=16, seed=0)
+        # without RelaxLoss this model reaches ~0 loss; with it, loss stays up
+        assert losses[-1] > omega / 4
+
+    def test_omega_zero_is_plain_training(self, tiny_vector_dataset):
+        model = vector_factory()
+        trainer = RelaxLossTrainer(model, 3, omega=0.0, lr=0.05, seed=0)
+        losses = trainer.train(tiny_vector_dataset, epochs=10, batch_size=16, seed=0)
+        assert losses[-1] < losses[0]
+
+    def test_omega_validation(self):
+        with pytest.raises(ValueError):
+            RelaxLossTrainer(vector_factory(), 3, omega=-1.0)
+
+    def test_flattened_targets_preserve_confidence(self, tiny_vector_dataset):
+        trainer = RelaxLossTrainer(vector_factory(), 3, omega=0.5, seed=0)
+        logits = np.array([[5.0, 0.0, 0.0]])
+        labels = np.array([0])
+        targets = trainer._flattened_targets(logits, labels)
+        np.testing.assert_allclose(targets.sum(axis=1), [1.0])
+        assert targets[0, 1] == targets[0, 2]  # uniform spread on other classes
+
+    def test_flattened_targets_keep_hard_labels_for_wrong_predictions(self):
+        trainer = RelaxLossTrainer(vector_factory(), 3, omega=0.5, seed=0)
+        logits = np.array([[0.0, 5.0, 0.0]])  # predicts class 1
+        labels = np.array([0])  # true class 0 -> incorrect
+        targets = trainer._flattened_targets(logits, labels)
+        np.testing.assert_allclose(targets, [[1.0, 0.0, 0.0]])

@@ -1,0 +1,43 @@
+"""The `python -m repro.experiments` command-line runner."""
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.profile == "quick"
+        assert not args.all
+        assert args.experiments == []
+
+    def test_experiment_ids(self):
+        args = build_parser().parse_args(["table5", "fig8", "--profile", "smoke"])
+        assert args.experiments == ["table5", "fig8"]
+        assert args.profile == "smoke"
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--profile", "turbo"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out
+        assert "Figure 8" in out
+
+    def test_no_args_is_an_error(self, capsys):
+        assert main([]) == 2
+
+    def test_runs_one_experiment_at_smoke(self, capsys):
+        assert main(["theorem1", "--profile", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "theorem1" in out
+        assert "completed in" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["table99", "--profile", "smoke"])

@@ -1,0 +1,91 @@
+"""Experiment building blocks: artifact caching, pools, per-dataset configs."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SMOKE,
+    attack_pools,
+    clear_caches,
+    get_bundle,
+    make_cip_config,
+    train_cip,
+    train_legacy,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestBundleCache:
+    def test_same_object_returned(self):
+        a = get_bundle("cifar100", SMOKE)
+        b = get_bundle("cifar100", SMOKE)
+        assert a is b
+
+    def test_different_seeds_differ(self):
+        a = get_bundle("cifar100", SMOKE, seed=0)
+        b = get_bundle("cifar100", SMOKE, seed=1)
+        assert a is not b
+        assert not np.allclose(a.train.inputs, b.train.inputs)
+
+    def test_chmnist_size_compensation(self):
+        """CH-MNIST (8 classes) gets 3x samples/class to match totals."""
+        cifar = get_bundle("cifar100", SMOKE)
+        chm = get_bundle("chmnist", SMOKE)
+        assert len(chm.train) == pytest.approx(len(cifar.train), rel=0.7)
+
+
+class TestArtifactCache:
+    def test_legacy_cached_by_configuration(self):
+        a = train_legacy("purchase50", SMOKE)
+        b = train_legacy("purchase50", SMOKE)
+        assert a is b
+
+    def test_cip_cached_per_alpha(self):
+        a = train_cip("purchase50", 0.5, SMOKE)
+        b = train_cip("purchase50", 0.5, SMOKE)
+        c = train_cip("purchase50", 0.9, SMOKE)
+        assert a is b
+        assert a is not c
+
+    def test_cip_artifact_contents(self):
+        artifact = train_cip("purchase50", 0.5, SMOKE)
+        assert artifact.perturbation.shape == artifact.bundle.train.input_shape
+        assert artifact.initial_t.shape == artifact.perturbation.value.shape
+        assert not np.allclose(artifact.initial_t, artifact.perturbation.value)
+        assert len(artifact.checkpoints) >= 1
+        target = artifact.target()
+        assert target.num_classes == artifact.bundle.num_classes
+
+    def test_clear_caches(self):
+        a = train_legacy("purchase50", SMOKE)
+        clear_caches()
+        b = train_legacy("purchase50", SMOKE)
+        assert a is not b
+
+
+class TestPoolsAndConfigs:
+    def test_attack_pools_disjoint(self):
+        bundle = get_bundle("purchase50", SMOKE)
+        data = attack_pools(bundle, SMOKE)
+        assert len(data.known_members) > 0
+        assert len(data.eval_members) > 0
+
+    def test_purchase_config_has_cap(self):
+        config = make_cip_config("purchase50", 0.7)
+        assert config.original_loss_cap == pytest.approx(np.log(50))
+        assert config.lambda_m == pytest.approx(0.3)
+
+    def test_image_config_is_plain_eq4(self):
+        config = make_cip_config("cifar100", 0.7)
+        assert config.original_loss_cap is None
+        assert config.lambda_m == pytest.approx(1e-6)
+
+    def test_lambda_override(self):
+        config = make_cip_config("purchase50", 0.7, lambda_m=0.123)
+        assert config.lambda_m == 0.123

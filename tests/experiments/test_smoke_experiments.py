@@ -1,0 +1,38 @@
+"""Every registered experiment runs end-to-end at the SMOKE profile.
+
+These are integration tests for the full paper-reproduction harness: each
+experiment trains real (tiny) models, runs real attacks, and must return a
+well-formed result table.  Scientific assertions live in the benchmarks and
+in test_integration.py; here we verify the machinery.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SMOKE,
+    format_table,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+ALL_IDS = sorted(spec.experiment_id for spec in list_experiments())
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_experiment_runs_at_smoke_profile(experiment_id):
+    result = run_experiment(experiment_id, SMOKE)
+    assert result.experiment_id == experiment_id
+    assert result.rows, f"{experiment_id} produced no rows"
+    for row in result.rows:
+        for column in result.columns:
+            assert column in row, f"{experiment_id} row missing {column}"
+    # formatting never crashes
+    text = format_table(result)
+    assert experiment_id in text
+    # numeric cells are finite or NaN-by-design (budget of 'none' defenses)
+    for row in result.rows:
+        for value in row.values():
+            if isinstance(value, float) and not np.isnan(value):
+                assert np.isfinite(value)

@@ -1,0 +1,73 @@
+"""FedAvg aggregation algebra."""
+
+import numpy as np
+import pytest
+
+from repro.fl.aggregation import apply_delta, fedavg, flatten_state, state_delta
+
+
+def make_states():
+    a = {"w": np.array([1.0, 2.0]), "b": np.array([0.0])}
+    b = {"w": np.array([3.0, 4.0]), "b": np.array([2.0])}
+    return a, b
+
+
+class TestFedAvg:
+    def test_uniform_average(self):
+        a, b = make_states()
+        merged = fedavg([a, b])
+        np.testing.assert_allclose(merged["w"], [2.0, 3.0])
+        np.testing.assert_allclose(merged["b"], [1.0])
+
+    def test_weighted_average_normalizes(self):
+        a, b = make_states()
+        merged = fedavg([a, b], weights=[30, 10])  # raw sample counts
+        np.testing.assert_allclose(merged["w"], 0.75 * a["w"] + 0.25 * b["w"])
+
+    def test_single_state_identity(self):
+        a, _ = make_states()
+        merged = fedavg([a])
+        np.testing.assert_allclose(merged["w"], a["w"])
+
+    def test_linearity(self):
+        """FedAvg of k copies of the same state is that state."""
+        a, _ = make_states()
+        merged = fedavg([a, a, a])
+        np.testing.assert_allclose(flatten_state(merged), flatten_state(a))
+
+    def test_validation(self):
+        a, b = make_states()
+        with pytest.raises(ValueError):
+            fedavg([])
+        with pytest.raises(ValueError):
+            fedavg([a, b], weights=[1.0])
+        with pytest.raises(ValueError):
+            fedavg([a, b], weights=[-1.0, 2.0])
+        with pytest.raises(ValueError):
+            fedavg([a, {"w": np.zeros(2)}])  # key mismatch
+
+
+class TestDeltas:
+    def test_delta_and_apply_round_trip(self):
+        a, b = make_states()
+        delta = state_delta(b, a)
+        restored = apply_delta(a, delta)
+        np.testing.assert_allclose(flatten_state(restored), flatten_state(b))
+
+    def test_apply_delta_scaled(self):
+        a, b = make_states()
+        delta = state_delta(b, a)
+        half = apply_delta(a, delta, scale=0.5)
+        np.testing.assert_allclose(half["w"], [2.0, 3.0])
+
+    def test_key_mismatch(self):
+        a, _ = make_states()
+        with pytest.raises(ValueError):
+            state_delta(a, {"x": np.zeros(1)})
+        with pytest.raises(ValueError):
+            apply_delta(a, {"x": np.zeros(1)})
+
+    def test_flatten_is_sorted_and_stable(self):
+        a, _ = make_states()
+        flat = flatten_state(a)
+        np.testing.assert_allclose(flat, [0.0, 1.0, 2.0])  # 'b' before 'w'

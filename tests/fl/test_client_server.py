@@ -1,0 +1,93 @@
+"""FLClient / FLServer protocol behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.fl.client import ClientConfig, FLClient
+from repro.fl.server import FLServer
+from repro.nn.models import build_model
+from repro.nn.serialization import state_dicts_allclose
+
+
+def factory():
+    return build_model("mlp", 3, in_features=5, hidden=(8,), seed=0)
+
+
+@pytest.fixture
+def dataset(tiny_vector_dataset):
+    # reshape the 10-dim fixture down to 5 features for the tiny factory
+    from repro.data.dataset import Dataset
+
+    return Dataset(tiny_vector_dataset.inputs[:, :5], tiny_vector_dataset.labels, 3)
+
+
+class TestClient:
+    def test_receive_global_overwrites_weights(self, dataset):
+        client = FLClient(0, dataset, factory, seed=1)
+        other = build_model("mlp", 3, in_features=5, hidden=(8,), seed=9)
+        client.receive_global(other.state_dict())
+        assert state_dicts_allclose(client.model.state_dict(), other.state_dict())
+
+    def test_local_update_changes_weights_and_reports(self, dataset):
+        client = FLClient(0, dataset, factory, ClientConfig(lr=0.05), seed=1)
+        before = client.model.state_dict()
+        update = client.local_update()
+        assert update.client_id == 0
+        assert update.num_samples == len(dataset)
+        assert np.isfinite(update.train_loss)
+        assert not state_dicts_allclose(before, update.state)
+
+    def test_update_state_is_a_copy(self, dataset):
+        client = FLClient(0, dataset, factory, seed=1)
+        update = client.local_update()
+        update.state["backbone.body.layer0.weight"][:] = 0.0
+        assert not np.allclose(
+            client.model.state_dict()["backbone.body.layer0.weight"], 0.0
+        )
+
+    def test_set_lr(self, dataset):
+        client = FLClient(0, dataset, factory, seed=1)
+        client.set_lr(0.123)
+        assert client._optimizer.lr == 0.123
+
+    def test_evaluate(self, dataset):
+        client = FLClient(0, dataset, factory, seed=1)
+        result = client.evaluate_train()
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.num_samples == len(dataset)
+
+
+class TestServer:
+    def test_aggregate_advances_round(self, dataset):
+        server = FLServer(factory)
+        client = FLClient(0, dataset, factory, seed=1)
+        assert server.round == 0
+        client.receive_global(server.broadcast(0))
+        server.aggregate([client.local_update()])
+        assert server.round == 1
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FLServer(factory).aggregate([])
+
+    def test_single_client_aggregation_adopts_update(self, dataset):
+        server = FLServer(factory)
+        client = FLClient(0, dataset, factory, seed=1)
+        client.receive_global(server.broadcast(0))
+        update = client.local_update()
+        server.aggregate([update])
+        assert state_dicts_allclose(server.global_state(), update.state)
+
+    def test_broadcast_hook_tampers_per_client(self, dataset):
+        server = FLServer(factory)
+
+        def hook(round_index, client_id, state):
+            if client_id == 1:
+                return {k: v + 1.0 for k, v in state.items()}
+            return state
+
+        server.broadcast_hook = hook
+        clean = server.broadcast(0)
+        tampered = server.broadcast(1)
+        assert state_dicts_allclose(clean, server.global_state())
+        assert not state_dicts_allclose(tampered, clean)

@@ -1,0 +1,63 @@
+"""Communication-cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.fl.communication import (
+    CommunicationLedger,
+    compare_traffic,
+    round_traffic_bytes,
+    state_dict_bytes,
+)
+from repro.nn.models import build_model
+
+
+class TestSizes:
+    def test_state_dict_bytes(self):
+        state = {"w": np.zeros((10, 10)), "b": np.zeros(10)}
+        assert state_dict_bytes(state) == (100 + 10) * 8
+
+    def test_round_traffic(self):
+        state = {"w": np.zeros(100)}
+        assert round_traffic_bytes(state, participants=5) == 2 * 5 * 800
+
+    def test_zero_participants(self):
+        assert round_traffic_bytes({"w": np.zeros(4)}, 0) == 0
+
+    def test_negative_participants_rejected(self):
+        with pytest.raises(ValueError):
+            round_traffic_bytes({"w": np.zeros(4)}, -1)
+
+    def test_matches_num_parameters(self):
+        model = build_model("resnet", 4, in_channels=1, seed=0)
+        state = model.state_dict()
+        param_bytes = model.num_parameters() * 8
+        assert state_dict_bytes(state) >= param_bytes  # + BN buffers
+
+
+class TestLedger:
+    def test_accumulates(self):
+        ledger = CommunicationLedger()
+        state = {"w": np.zeros(10)}
+        ledger.record_round(state, 3)
+        ledger.record_round(state, 2)
+        assert ledger.rounds == 2
+        assert ledger.total_bytes == 2 * 3 * 80 + 2 * 2 * 80
+        assert ledger.total_megabytes() == pytest.approx(ledger.total_bytes / 1e6)
+
+
+class TestCompare:
+    def test_cip_traffic_overhead_matches_parameter_overhead(self):
+        """The dual-channel model's wire overhead is the dense-head growth."""
+        legacy = build_model("resnet", 20, in_channels=3, seed=0)
+        dual = build_model("resnet", 20, dual_channel=True, in_channels=3, seed=0)
+        report = compare_traffic(
+            legacy.state_dict(), dual.state_dict(), participants=5, rounds=100
+        )
+        assert 0.0 < report["overhead_pct"] < 10.0
+        assert report["total_bytes_b"] > report["total_bytes_a"]
+
+    def test_identical_states_zero_overhead(self):
+        state = {"w": np.zeros(8)}
+        report = compare_traffic(state, state, participants=2, rounds=3)
+        assert report["overhead_pct"] == 0.0

@@ -1,0 +1,61 @@
+"""Local-training baseline (Table III comparator)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.partition import partition_by_classes
+from repro.fl.client import ClientConfig
+from repro.fl.local import remap_to_local_classes, run_local_training
+from repro.nn.models import build_model
+
+
+class TestRemap:
+    def test_restricts_and_renumbers(self):
+        labels = np.array([0, 3, 5, 3, 0])
+        ds = Dataset(np.arange(5.0)[:, None], labels, 6)
+        local = remap_to_local_classes(ds, np.array([0, 3]))
+        assert len(local) == 4
+        assert local.num_classes == 2
+        assert set(local.labels) == {0, 1}
+        # class 0 stays 0, class 3 becomes 1
+        np.testing.assert_array_equal(local.labels, [0, 1, 1, 0])
+
+    def test_empty_selection(self):
+        ds = Dataset(np.zeros((3, 1)), np.array([0, 1, 2]), 3)
+        local = remap_to_local_classes(ds, np.array([2]))
+        assert len(local) == 1
+
+
+class TestLocalTraining:
+    def test_runs_per_client_with_local_heads(self, tiny_vector_dataset):
+        shards = partition_by_classes(tiny_vector_dataset, 3, classes_per_client=2, seed=0)
+        built_sizes = []
+
+        def model_factory(num_classes):
+            built_sizes.append(num_classes)
+            return build_model("mlp", num_classes, in_features=10, hidden=(16,), seed=0)
+
+        result = run_local_training(
+            shards,
+            tiny_vector_dataset,
+            model_factory,
+            ClientConfig(lr=0.05),
+            epochs=8,
+            seed=0,
+        )
+        assert len(result.client_accuracies) == 3
+        assert all(size <= 2 for size in built_sizes)
+        assert 0.0 <= result.mean_accuracy <= 1.0
+
+    def test_local_training_learns_separable_data(self, tiny_vector_dataset):
+        shards = partition_by_classes(tiny_vector_dataset, 2, classes_per_client=2, seed=1)
+        result = run_local_training(
+            shards,
+            tiny_vector_dataset,
+            lambda k: build_model("mlp", k, in_features=10, hidden=(16,), seed=0),
+            ClientConfig(lr=0.05),
+            epochs=15,
+            seed=0,
+        )
+        assert result.mean_accuracy > 0.6

@@ -1,0 +1,73 @@
+"""Malicious-server instrumentation (gradient-ascent broadcast hook)."""
+
+import numpy as np
+
+from repro.fl.malicious import GradientAscentHook, per_sample_losses_of_state
+from repro.nn.models import build_model
+from repro.nn.serialization import state_dicts_allclose
+
+
+def factory():
+    return build_model("mlp", 3, in_features=10, hidden=(16,), seed=0)
+
+
+def test_hook_raises_loss_on_targets(tiny_vector_dataset):
+    model = factory()
+    targets = tiny_vector_dataset.take(10)
+    hook = GradientAscentHook(factory(), targets.inputs, targets.labels, ascent_lr=0.5)
+    clean_state = model.state_dict()
+    tampered = hook(0, 0, clean_state)
+    loss_before = per_sample_losses_of_state(
+        factory(), clean_state, targets.inputs, targets.labels
+    ).mean()
+    loss_after = per_sample_losses_of_state(
+        factory(), tampered, targets.inputs, targets.labels
+    ).mean()
+    assert loss_after > loss_before
+    assert hook.tampered_rounds == [0]
+
+
+def test_hook_respects_victim_id(tiny_vector_dataset):
+    targets = tiny_vector_dataset.take(5)
+    hook = GradientAscentHook(
+        factory(), targets.inputs, targets.labels, ascent_lr=0.5, victim_id=1
+    )
+    state = factory().state_dict()
+    untouched = hook(0, 0, state)
+    assert state_dicts_allclose(untouched, state)
+    tampered = hook(0, 1, state)
+    assert not state_dicts_allclose(tampered, state)
+
+
+def test_hook_respects_start_round(tiny_vector_dataset):
+    targets = tiny_vector_dataset.take(5)
+    hook = GradientAscentHook(
+        factory(), targets.inputs, targets.labels, ascent_lr=0.5, start_round=3
+    )
+    state = factory().state_dict()
+    assert state_dicts_allclose(hook(2, 0, state), state)
+    assert not state_dicts_allclose(hook(3, 0, state), state)
+
+
+def test_negative_lr_descends(tiny_vector_dataset):
+    """Optimization-2 reuses the hook with a negative step (descent)."""
+    targets = tiny_vector_dataset.take(10)
+    hook = GradientAscentHook(factory(), targets.inputs, targets.labels, ascent_lr=-0.5)
+    state = factory().state_dict()
+    tampered = hook(0, 0, state)
+    loss_before = per_sample_losses_of_state(
+        factory(), state, targets.inputs, targets.labels
+    ).mean()
+    loss_after = per_sample_losses_of_state(
+        factory(), tampered, targets.inputs, targets.labels
+    ).mean()
+    assert loss_after < loss_before
+
+
+def test_hook_does_not_mutate_input_state(tiny_vector_dataset):
+    targets = tiny_vector_dataset.take(5)
+    hook = GradientAscentHook(factory(), targets.inputs, targets.labels, ascent_lr=0.5)
+    state = factory().state_dict()
+    snapshot = {k: v.copy() for k, v in state.items()}
+    hook(0, 0, state)
+    assert state_dicts_allclose(state, snapshot)

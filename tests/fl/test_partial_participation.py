@@ -1,0 +1,86 @@
+"""Partial client participation (cross-device FedAvg)."""
+
+import numpy as np
+import pytest
+
+from repro.data.partition import partition_iid
+from repro.fl.client import ClientConfig, FLClient
+from repro.fl.server import FLServer
+from repro.fl.simulation import FederatedSimulation
+from repro.nn.models import build_model
+
+
+def factory():
+    return build_model("mlp", 3, in_features=10, hidden=(16,), seed=0)
+
+
+def build_sim(dataset, num_clients=4, clients_per_round=2, sampling_seed=0):
+    shards = partition_iid(dataset, num_clients, seed=0)
+    server = FLServer(factory)
+    clients = [
+        FLClient(i, shards[i], factory, ClientConfig(lr=0.05), seed=i)
+        for i in range(num_clients)
+    ]
+    return FederatedSimulation(
+        server,
+        clients,
+        clients_per_round=clients_per_round,
+        sampling_seed=sampling_seed,
+    )
+
+
+class TestPartialParticipation:
+    def test_only_subset_trains_each_round(self, tiny_vector_dataset):
+        sim = build_sim(tiny_vector_dataset)
+        sim.run(5)
+        for round_losses in sim.history.train_losses:
+            assert len(round_losses) == 2
+
+    def test_all_clients_eventually_participate(self, tiny_vector_dataset):
+        sim = build_sim(tiny_vector_dataset, sampling_seed=1)
+        sim.run(12)
+        seen = set()
+        for round_losses in sim.history.train_losses:
+            seen.update(round_losses)
+        assert seen == {0, 1, 2, 3}
+
+    def test_loss_series_skips_missed_rounds(self, tiny_vector_dataset):
+        sim = build_sim(tiny_vector_dataset)
+        sim.run(6)
+        participation = sum(
+            1 for losses in sim.history.train_losses if 0 in losses
+        )
+        assert len(sim.history.client_loss_series(0)) == participation
+
+    def test_learning_still_happens(self, tiny_vector_dataset):
+        from repro.fl.training import evaluate_model
+
+        sim = build_sim(tiny_vector_dataset)
+        before = evaluate_model(sim.server.model, tiny_vector_dataset).accuracy
+        sim.run(15)
+        after = evaluate_model(sim.server.model, tiny_vector_dataset).accuracy
+        assert after > before
+
+    def test_sampling_is_seeded(self, tiny_vector_dataset):
+        sims = [build_sim(tiny_vector_dataset, sampling_seed=7) for _ in range(2)]
+        for sim in sims:
+            sim.run(4)
+        for a, b in zip(sims[0].history.train_losses, sims[1].history.train_losses):
+            assert set(a) == set(b)
+
+    def test_validation(self, tiny_vector_dataset):
+        with pytest.raises(ValueError):
+            build_sim(tiny_vector_dataset, clients_per_round=0)
+        with pytest.raises(ValueError):
+            build_sim(tiny_vector_dataset, clients_per_round=9)
+
+    def test_full_participation_default(self, tiny_vector_dataset):
+        shards = partition_iid(tiny_vector_dataset, 3, seed=0)
+        server = FLServer(factory)
+        clients = [
+            FLClient(i, shards[i], factory, ClientConfig(lr=0.05), seed=i)
+            for i in range(3)
+        ]
+        sim = FederatedSimulation(server, clients)
+        sim.run(2)
+        assert all(len(losses) == 3 for losses in sim.history.train_losses)

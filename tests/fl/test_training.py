@@ -1,0 +1,109 @@
+"""Generic training/evaluation loops and their edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.fl.training import (
+    default_forward,
+    evaluate_model,
+    predict_logits,
+    train_supervised,
+)
+from repro.nn.losses import cross_entropy
+from repro.nn.models import build_model
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor
+
+
+def factory():
+    return build_model("mlp", 3, in_features=10, hidden=(16,), seed=0)
+
+
+class TestTrainSupervised:
+    def test_returns_per_epoch_losses(self, tiny_vector_dataset):
+        model = factory()
+        opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        losses = train_supervised(model, tiny_vector_dataset, opt, epochs=3, seed=0)
+        assert len(losses) == 3
+        assert losses[-1] < losses[0]
+
+    def test_custom_loss_fn(self, tiny_vector_dataset):
+        """loss_fn overrides cross-entropy (the defense plug-in point)."""
+        model = factory()
+        opt = SGD(model.parameters(), lr=0.05)
+        calls = []
+
+        def loss_fn(m, inputs, labels):
+            calls.append(len(labels))
+            return cross_entropy(m(Tensor(inputs)), labels) * 2.0
+
+        train_supervised(model, tiny_vector_dataset, opt, epochs=1, seed=0, loss_fn=loss_fn)
+        assert sum(calls) == len(tiny_vector_dataset)
+
+    def test_augment_hook_called(self, tiny_vector_dataset):
+        model = factory()
+        opt = SGD(model.parameters(), lr=0.05)
+        seen = []
+
+        def augment(batch):
+            seen.append(batch.shape)
+            return batch
+
+        train_supervised(
+            model, tiny_vector_dataset, opt, epochs=1, batch_size=16, seed=0, augment=augment
+        )
+        assert sum(s[0] for s in seen) == len(tiny_vector_dataset)
+
+    def test_deterministic_given_seed(self, tiny_vector_dataset):
+        results = []
+        for _ in range(2):
+            model = factory()
+            opt = SGD(model.parameters(), lr=0.05)
+            losses = train_supervised(model, tiny_vector_dataset, opt, epochs=2, seed=123)
+            results.append(losses)
+        np.testing.assert_allclose(results[0], results[1])
+
+
+class TestEvaluate:
+    def test_eval_mode_and_no_grad(self, tiny_vector_dataset):
+        model = factory()
+        model.train()
+        evaluate_model(model, tiny_vector_dataset)
+        assert not model.training  # left in eval mode
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_empty_dataset(self):
+        empty = Dataset(np.zeros((0, 10)), np.zeros(0, dtype=int), 3)
+        result = evaluate_model(factory(), empty)
+        assert result.num_samples == 0
+        assert result.accuracy == 0.0
+
+    def test_loss_matches_manual(self, tiny_vector_dataset):
+        model = factory()
+        result = evaluate_model(model, tiny_vector_dataset, batch_size=7)
+        logits = predict_logits(model, tiny_vector_dataset.inputs)
+        manual = cross_entropy(Tensor(logits), tiny_vector_dataset.labels).item()
+        assert result.loss == pytest.approx(manual, rel=1e-9)
+
+
+class TestPredictLogits:
+    def test_batched_equals_single_shot(self, tiny_vector_dataset):
+        model = factory()
+        batched = predict_logits(model, tiny_vector_dataset.inputs, batch_size=7)
+        single = predict_logits(model, tiny_vector_dataset.inputs, batch_size=10_000)
+        np.testing.assert_allclose(batched, single)
+
+    def test_empty_input(self):
+        out = predict_logits(factory(), np.zeros((0, 10)))
+        assert out.size == 0
+
+    def test_custom_forward(self, tiny_vector_dataset):
+        model = factory()
+        out = predict_logits(
+            model,
+            tiny_vector_dataset.inputs[:4],
+            forward=lambda m, x: m(Tensor(x)) * 2.0,
+        )
+        base = predict_logits(model, tiny_vector_dataset.inputs[:4])
+        np.testing.assert_allclose(out, base * 2.0)

@@ -1,0 +1,85 @@
+"""Attack classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.classification import (
+    best_threshold_accuracy,
+    binary_metrics,
+    roc_auc,
+)
+
+
+class TestBinaryMetrics:
+    def test_perfect_predictor(self):
+        labels = np.array([1, 1, 0, 0])
+        m = binary_metrics(labels.astype(bool), labels)
+        assert m.precision == m.recall == m.f1 == m.accuracy == 1.0
+
+    def test_known_confusion(self):
+        predictions = np.array([1, 1, 1, 0, 0, 0], dtype=bool)
+        labels = np.array([1, 1, 0, 1, 0, 0], dtype=bool)
+        m = binary_metrics(predictions, labels)
+        assert m.true_positives == 2
+        assert m.false_positives == 1
+        assert m.false_negatives == 1
+        assert m.true_negatives == 2
+        assert m.precision == pytest.approx(2 / 3)
+        assert m.recall == pytest.approx(2 / 3)
+        assert m.accuracy == pytest.approx(4 / 6)
+
+    def test_degenerate_all_negative(self):
+        m = binary_metrics(np.zeros(4, dtype=bool), np.ones(4, dtype=bool))
+        assert m.precision == 0.0 and m.recall == 0.0 and m.f1 == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            binary_metrics(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))
+
+    def test_as_row(self):
+        m = binary_metrics(np.ones(2, dtype=bool), np.ones(2, dtype=bool))
+        assert set(m.as_row()) == {"precision", "recall", "f1", "accuracy"}
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        assert roc_auc(scores, labels) == 1.0
+
+    def test_inverted_separation(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([1, 1, 0, 0])
+        assert roc_auc(scores, labels) == 0.0
+
+    def test_ties_give_half(self):
+        scores = np.ones(10)
+        labels = np.array([1] * 5 + [0] * 5)
+        assert roc_auc(scores, labels) == pytest.approx(0.5)
+
+    def test_degenerate_single_class(self):
+        assert roc_auc(np.array([0.3, 0.7]), np.array([1, 1])) == 0.5
+
+    def test_matches_probability_interpretation(self):
+        rng = np.random.default_rng(0)
+        pos = rng.normal(1.0, 1.0, 200)
+        neg = rng.normal(0.0, 1.0, 200)
+        scores = np.concatenate([pos, neg])
+        labels = np.concatenate([np.ones(200), np.zeros(200)])
+        auc = roc_auc(scores, labels)
+        empirical = (pos[:, None] > neg[None, :]).mean() + 0.5 * (
+            pos[:, None] == neg[None, :]
+        ).mean()
+        assert auc == pytest.approx(empirical, abs=1e-9)
+
+
+class TestBestThreshold:
+    def test_perfect_case(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        assert best_threshold_accuracy(scores, labels) == 1.0
+
+    def test_never_below_majority(self):
+        scores = np.random.default_rng(0).random(20)
+        labels = np.array([1] * 15 + [0] * 5)
+        assert best_threshold_accuracy(scores, labels) >= 0.75

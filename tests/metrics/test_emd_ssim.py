@@ -1,0 +1,87 @@
+"""EMD (Figure 7) and SSIM (Tables VIII / Knowledge-3) metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.emd import emd_1d, pairwise_mean_emd
+from repro.metrics.ssim import blend_seeds_to_target_ssim, ssim
+
+
+class TestEMD:
+    def test_identical_distributions(self):
+        samples = np.array([1.0, 2.0, 3.0])
+        assert emd_1d(samples, samples) == 0.0
+
+    def test_constant_shift(self):
+        a = np.array([0.0, 1.0, 2.0])
+        assert emd_1d(a, a + 5.0) == pytest.approx(5.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=30), rng.normal(1.0, 2.0, size=30)
+        assert emd_1d(a, b) == pytest.approx(emd_1d(b, a))
+
+    def test_unequal_sizes(self):
+        a = np.array([0.0, 0.0, 0.0, 0.0])
+        b = np.array([1.0])
+        assert emd_1d(a, b) == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        from scipy.stats import wasserstein_distance
+
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=23)
+        b = rng.normal(0.7, 1.4, size=31)
+        assert emd_1d(a, b) == pytest.approx(wasserstein_distance(a, b), abs=1e-10)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            emd_1d(np.array([]), np.array([1.0]))
+
+    def test_pairwise_mean(self):
+        series = [np.zeros(5), np.ones(5), np.full(5, 2.0)]
+        # pairs: (0,1)=1, (0,2)=2, (1,2)=1 -> mean 4/3
+        assert pairwise_mean_emd(series) == pytest.approx(4 / 3)
+
+    def test_pairwise_single_series(self):
+        assert pairwise_mean_emd([np.ones(3)]) == 0.0
+
+
+class TestSSIM:
+    def test_identical_images(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((3, 8, 8))
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_independent_noise_low(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.random((8, 8)), rng.random((8, 8))
+        assert ssim(a, b) < 0.7
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.random((8, 8)), rng.random((8, 8))
+        assert ssim(a, b) == pytest.approx(ssim(b, a))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_works_on_vectors(self):
+        rng = np.random.default_rng(3)
+        v = rng.random(64)
+        assert ssim(v, v) == pytest.approx(1.0)
+
+
+class TestSeedBlending:
+    def test_hits_requested_similarity(self):
+        rng = np.random.default_rng(4)
+        seed = rng.random((3, 8, 8))
+        noise = rng.random((3, 8, 8))
+        for target in (0.3, 0.6, 0.9):
+            built = blend_seeds_to_target_ssim(seed, noise, target)
+            assert abs(ssim(built, seed) - target) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blend_seeds_to_target_ssim(np.zeros(4), np.ones(4), 0.0)

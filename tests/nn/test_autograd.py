@@ -1,0 +1,236 @@
+"""Numerical gradient checks for every autograd op."""
+
+import numpy as np
+import pytest
+
+from repro.nn import tensor as T
+from repro.nn.tensor import Tensor, no_grad
+from tests.conftest import check_gradient, numerical_gradient
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        check_gradient(lambda x: (x + 3.0).sum(), (4, 5))
+
+    def test_add_broadcast(self):
+        rng = np.random.default_rng(1)
+        other = rng.normal(size=(5,))
+        check_gradient(lambda x: (x + Tensor(other)).sum(), (4, 5))
+
+    def test_add_broadcast_into_small(self):
+        rng = np.random.default_rng(2)
+        big = Tensor(rng.normal(size=(4, 5)))
+        check_gradient(lambda x: (x + big).sum(), (5,))
+
+    def test_mul(self):
+        check_gradient(lambda x: (x * x).sum(), (3, 4))
+
+    def test_mul_broadcast(self):
+        rng = np.random.default_rng(3)
+        other = Tensor(rng.normal(size=(1, 4)))
+        check_gradient(lambda x: (x * other).sum(), (3, 4))
+
+    def test_div(self):
+        check_gradient(lambda x: (1.0 / x).sum(), (3, 3), positive=True)
+
+    def test_sub_and_neg(self):
+        check_gradient(lambda x: (5.0 - x).sum(), (6,))
+
+    def test_pow(self):
+        check_gradient(lambda x: (x**3).sum(), (4,))
+
+    def test_exp(self):
+        check_gradient(lambda x: x.exp().sum(), (3, 3))
+
+    def test_log(self):
+        check_gradient(lambda x: x.log().sum(), (4,), positive=True)
+
+    def test_sqrt(self):
+        check_gradient(lambda x: x.sqrt().sum(), (4,), positive=True)
+
+    def test_tanh(self):
+        check_gradient(lambda x: x.tanh().sum(), (5,))
+
+    def test_sigmoid(self):
+        check_gradient(lambda x: x.sigmoid().sum(), (5,))
+
+    def test_relu(self):
+        # Keep values away from the kink.
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(20,))
+        x = np.where(np.abs(x) < 0.1, 0.5, x)
+        tensor = Tensor(x, requires_grad=True)
+        tensor.relu().sum().backward()
+        np.testing.assert_allclose(tensor.grad, (x > 0).astype(float))
+
+    def test_abs(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(20,))
+        x = np.where(np.abs(x) < 0.1, 0.5, x)
+        tensor = Tensor(x, requires_grad=True)
+        tensor.abs().sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.sign(x))
+
+    def test_clip_passes_gradient_inside_range(self):
+        x = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+        tensor = Tensor(x, requires_grad=True)
+        tensor.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(tensor.grad, [0.0, 1.0, 1.0, 1.0, 0.0])
+
+
+class TestMatmulGradients:
+    def test_matrix_matrix(self):
+        rng = np.random.default_rng(6)
+        other = Tensor(rng.normal(size=(5, 2)))
+        check_gradient(lambda x: (x @ other).sum(), (3, 5))
+
+    def test_matrix_matrix_right(self):
+        rng = np.random.default_rng(7)
+        left = Tensor(rng.normal(size=(3, 5)))
+        check_gradient(lambda x: (left @ x).sum(), (5, 2))
+
+    def test_matrix_vector(self):
+        rng = np.random.default_rng(8)
+        v = Tensor(rng.normal(size=(5,)))
+        check_gradient(lambda x: (x @ v).sum(), (3, 5))
+
+    def test_vector_matrix(self):
+        rng = np.random.default_rng(9)
+        m = Tensor(rng.normal(size=(5, 3)))
+        check_gradient(lambda x: (x @ m).sum(), (5,))
+
+    def test_vector_vector(self):
+        rng = np.random.default_rng(10)
+        v = Tensor(rng.normal(size=(5,)))
+        check_gradient(lambda x: x @ v, (5,))
+        check_gradient(lambda x: Tensor(np.arange(5.0)) @ x, (5,))
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        check_gradient(lambda x: x.sum(), (3, 4))
+
+    def test_sum_axis(self):
+        check_gradient(lambda x: (x.sum(axis=0) ** 2).sum(), (3, 4))
+
+    def test_sum_keepdims(self):
+        check_gradient(lambda x: (x.sum(axis=1, keepdims=True) * x).sum(), (3, 4))
+
+    def test_mean(self):
+        check_gradient(lambda x: (x.mean(axis=(0, 2)) ** 2).sum(), (2, 3, 4))
+
+    def test_max_all(self):
+        rng = np.random.default_rng(11)
+        x = rng.permutation(20).astype(float).reshape(4, 5)  # unique values
+        tensor = Tensor(x, requires_grad=True)
+        tensor.max().backward()
+        expected = (x == x.max()).astype(float)
+        np.testing.assert_allclose(tensor.grad, expected)
+
+    def test_max_axis(self):
+        rng = np.random.default_rng(12)
+        x = rng.permutation(20).astype(float).reshape(4, 5)
+        tensor = Tensor(x, requires_grad=True)
+        tensor.max(axis=1).sum().backward()
+        expected = (x == x.max(axis=1, keepdims=True)).astype(float)
+        np.testing.assert_allclose(tensor.grad, expected)
+
+    def test_max_ties_split_gradient(self):
+        x = np.array([[1.0, 1.0, 0.0]])
+        tensor = Tensor(x, requires_grad=True)
+        tensor.max(axis=1).sum().backward()
+        np.testing.assert_allclose(tensor.grad, [[0.5, 0.5, 0.0]])
+
+    def test_var(self):
+        check_gradient(lambda x: x.var(axis=0).sum(), (6, 3))
+
+
+class TestShapeGradients:
+    def test_reshape(self):
+        check_gradient(lambda x: (x.reshape(2, 6) ** 2).sum(), (3, 4))
+
+    def test_transpose(self):
+        check_gradient(lambda x: (x.transpose(1, 0, 2) ** 2).sum(), (2, 3, 4))
+
+    def test_getitem(self):
+        check_gradient(lambda x: (x[1:, :2] ** 2).sum(), (3, 4))
+
+    def test_pad(self):
+        check_gradient(lambda x: (x.pad([(1, 1), (2, 0)]) ** 2).sum(), (3, 4))
+
+    def test_concatenate(self):
+        rng = np.random.default_rng(13)
+        other = Tensor(rng.normal(size=(2, 4)))
+        check_gradient(lambda x: (T.concatenate([x, other], axis=0) ** 2).sum(), (3, 4))
+
+    def test_stack(self):
+        rng = np.random.default_rng(14)
+        other = Tensor(rng.normal(size=(3, 4)))
+        check_gradient(lambda x: (T.stack([x, other], axis=0) ** 2).sum(), (3, 4))
+
+    def test_where(self):
+        cond = np.array([[True, False], [False, True]])
+        rng = np.random.default_rng(15)
+        other = Tensor(rng.normal(size=(2, 2)))
+        check_gradient(lambda x: T.where(cond, x, other).sum(), (2, 2))
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_over_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x * 3.0  # x used twice
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])  # 2x + 3
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = x * 2.0
+        b = x + 1.0
+        out = a * b  # d/dx (2x(x+1)) = 4x + 2
+        out.backward()
+        np.testing.assert_allclose(x.grad, [14.0])
+
+    def test_deep_chain(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.1
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.1**50], rtol=1e-10)
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        with pytest.raises(RuntimeError):
+            y.backward()
+
+    def test_backward_requires_scalar_or_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+        (x * 2).backward(np.ones((2, 2)))
+        np.testing.assert_allclose(x.grad, 2 * np.ones((2, 2)))
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_non_differentiable_comparisons(self):
+        x = Tensor(np.array([1.0, -1.0]), requires_grad=True)
+        assert isinstance(x > 0, np.ndarray)
+        assert (x > 0).tolist() == [True, False]
+        assert (x <= 0).tolist() == [False, True]
+
+    def test_int_data_promoted_when_requires_grad(self):
+        x = Tensor(np.array([1, 2, 3]), requires_grad=True)
+        assert np.issubdtype(x.dtype, np.floating)

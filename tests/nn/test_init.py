@@ -1,0 +1,64 @@
+"""Weight initializer statistics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init as initializers
+
+
+RNG_SEED = 0
+
+
+class TestFanComputation:
+    def test_linear_shape(self):
+        rng = np.random.default_rng(RNG_SEED)
+        w = initializers.kaiming_uniform((100, 50), rng)
+        assert w.shape == (100, 50)
+
+    def test_conv_shape(self):
+        rng = np.random.default_rng(RNG_SEED)
+        w = initializers.kaiming_normal((8, 3, 3, 3), rng)
+        assert w.shape == (8, 3, 3, 3)
+
+    def test_unsupported_shape(self):
+        rng = np.random.default_rng(RNG_SEED)
+        with pytest.raises(ValueError):
+            initializers.kaiming_uniform((5,), rng)
+
+
+class TestDistributions:
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(RNG_SEED)
+        fan_in = 200
+        w = initializers.kaiming_uniform((fan_in, 50), rng)
+        bound = np.sqrt(6.0 / fan_in)
+        assert np.abs(w).max() <= bound
+
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(RNG_SEED)
+        fan_in = 500
+        w = initializers.kaiming_normal((fan_in, 400), rng)
+        expected = np.sqrt(2.0 / fan_in)
+        assert abs(w.std() - expected) / expected < 0.05
+
+    def test_xavier_uniform_bound(self):
+        rng = np.random.default_rng(RNG_SEED)
+        w = initializers.xavier_uniform((30, 70), rng)
+        bound = np.sqrt(6.0 / 100)
+        assert np.abs(w).max() <= bound
+
+    def test_zeros_and_ones(self):
+        np.testing.assert_array_equal(initializers.zeros((3, 2)), np.zeros((3, 2)))
+        np.testing.assert_array_equal(initializers.ones((4,)), np.ones(4))
+
+    def test_seeded_determinism(self):
+        a = initializers.kaiming_uniform((10, 10), np.random.default_rng(5))
+        b = initializers.kaiming_uniform((10, 10), np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_variance_scales_with_fan_in(self):
+        """He init: deeper fan-in means smaller weights (stable activations)."""
+        rng = np.random.default_rng(RNG_SEED)
+        narrow = initializers.kaiming_normal((10, 1000), rng)
+        wide = initializers.kaiming_normal((1000, 1000), rng)
+        assert wide.std() < narrow.std()

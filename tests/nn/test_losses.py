@@ -1,0 +1,101 @@
+"""Loss-function correctness and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import (
+    cross_entropy,
+    l1_norm,
+    mse_loss,
+    nll_loss,
+    per_sample_cross_entropy,
+)
+from repro.nn.functional import log_softmax
+from repro.nn.tensor import Tensor
+from tests.conftest import check_gradient
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = np.array([[2.0, 1.0, 0.0], [0.0, 0.0, 0.0]])
+        labels = np.array([0, 2])
+        loss = cross_entropy(Tensor(logits), labels)
+        probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        expected = -np.log(probs[[0, 1], labels]).mean()
+        np.testing.assert_allclose(loss.item(), expected)
+
+    def test_reductions(self):
+        logits = Tensor(np.zeros((4, 3)))
+        labels = np.zeros(4, dtype=int)
+        per = cross_entropy(logits, labels, reduction="none")
+        assert per.shape == (4,)
+        total = cross_entropy(logits, labels, reduction="sum")
+        np.testing.assert_allclose(total.item(), per.data.sum())
+        with pytest.raises(ValueError):
+            cross_entropy(logits, labels, reduction="bogus")
+
+    def test_weights(self):
+        logits = Tensor(np.zeros((2, 2)))
+        labels = np.array([0, 1])
+        weighted = cross_entropy(logits, labels, weights=np.array([2.0, 0.0]))
+        unweighted = cross_entropy(logits, labels)
+        np.testing.assert_allclose(weighted.item(), unweighted.item())  # mean of (2L, 0)
+
+    def test_gradient(self):
+        labels = np.array([0, 1, 2])
+        check_gradient(lambda x: cross_entropy(x, labels), (3, 4))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3, 4))), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.zeros(5, dtype=int))
+
+    def test_perfect_prediction_near_zero_loss(self):
+        logits = np.zeros((1, 3))
+        logits[0, 1] = 50.0
+        loss = cross_entropy(Tensor(logits), np.array([1]))
+        assert loss.item() < 1e-10
+
+
+class TestPerSampleCrossEntropy:
+    def test_matches_differentiable_version(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        fast = per_sample_cross_entropy(logits, labels)
+        slow = cross_entropy(Tensor(logits), labels, reduction="none")
+        np.testing.assert_allclose(fast, slow.data, atol=1e-12)
+
+    def test_stable_for_large_logits(self):
+        logits = np.array([[1e4, -1e4]])
+        out = per_sample_cross_entropy(logits, np.array([1]))
+        assert np.isfinite(out).all()
+
+
+class TestOtherLosses:
+    def test_nll_matches_cross_entropy(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(5, 3))
+        labels = rng.integers(0, 3, size=5)
+        ce = cross_entropy(Tensor(logits), labels)
+        nll = nll_loss(log_softmax(Tensor(logits)), labels)
+        np.testing.assert_allclose(ce.item(), nll.item(), atol=1e-12)
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0, 3.0]))
+        target = np.array([1.0, 1.0, 1.0])
+        np.testing.assert_allclose(mse_loss(pred, target).item(), (0 + 1 + 4) / 3)
+
+    def test_mse_gradient(self):
+        target = np.array([0.5, -0.5, 1.5])
+        check_gradient(lambda x: mse_loss(x, target), (3,))
+
+    def test_l1_norm(self):
+        t = Tensor(np.array([-1.0, 2.0, -3.0]))
+        np.testing.assert_allclose(l1_norm(t).item(), 6.0)
+
+    def test_l1_norm_gradient_is_sign(self):
+        t = Tensor(np.array([-1.0, 2.0, -3.0]), requires_grad=True)
+        l1_norm(t).backward()
+        np.testing.assert_allclose(t.grad, [-1.0, 1.0, -1.0])

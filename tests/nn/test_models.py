@@ -1,0 +1,124 @@
+"""Model zoo: shapes, learnability, dual-channel semantics, factory."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import cross_entropy
+from repro.nn.models import (
+    DualChannelClassifier,
+    MiniDenseNetBackbone,
+    MiniResNetBackbone,
+    MiniVGGBackbone,
+    SingleChannelClassifier,
+    build_backbone,
+    build_model,
+)
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor
+
+
+RNG = np.random.default_rng(0)
+IMAGES = RNG.normal(size=(4, 3, 12, 12))
+LABELS = np.array([0, 1, 2, 3])
+
+
+class TestBackbones:
+    @pytest.mark.parametrize("arch", ["resnet", "densenet", "vgg"])
+    def test_feature_shapes(self, arch):
+        backbone = build_backbone(arch, in_channels=3, seed=0)
+        out = backbone(Tensor(IMAGES))
+        assert out.ndim == 4
+        assert out.shape[0] == 4
+        assert out.shape[1] == backbone.feature_dim
+
+    def test_resnet_has_projection_shortcut_on_downsample(self):
+        backbone = MiniResNetBackbone(stage_channels=(8, 16), blocks_per_stage=1, seed=0)
+        blocks = list(backbone.stages)
+        assert blocks[0].shortcut is None  # same shape: identity skip
+        assert blocks[1].shortcut is not None  # stride 2 + channel change
+
+    def test_densenet_grows_channels(self):
+        backbone = MiniDenseNetBackbone(
+            in_channels=1, growth_rate=4, block_layers=(2,), stem_channels=8, seed=0
+        )
+        assert backbone.feature_dim == 8 + 2 * 4
+
+    def test_vgg_downsamples_per_stage(self):
+        backbone = MiniVGGBackbone(in_channels=3, stage_channels=(8, 16), seed=0)
+        out = backbone(Tensor(IMAGES))
+        assert out.shape[2] == 12 // 4  # two 2x2 max pools
+
+    def test_mlp_requires_in_features(self):
+        with pytest.raises(ValueError):
+            build_backbone("mlp")
+
+    def test_unknown_backbone(self):
+        with pytest.raises(ValueError):
+            build_backbone("transformer9000")
+
+
+class TestClassifiers:
+    def test_single_channel_logits_shape(self):
+        model = build_model("resnet", 7, in_channels=3, seed=0)
+        assert isinstance(model, SingleChannelClassifier)
+        assert model(Tensor(IMAGES)).shape == (4, 7)
+
+    def test_dual_channel_logits_shape(self):
+        model = build_model("resnet", 7, dual_channel=True, in_channels=3, seed=0)
+        assert isinstance(model, DualChannelClassifier)
+        pair = (Tensor(IMAGES), Tensor(IMAGES * 0.5))
+        assert model(pair).shape == (4, 7)
+
+    def test_dual_channel_head_is_double_width(self):
+        single = build_model("resnet", 5, in_channels=3, seed=0)
+        dual = build_model("resnet", 5, dual_channel=True, in_channels=3, seed=0)
+        assert dual.head.in_features == 2 * single.head.in_features
+
+    def test_dual_channel_param_overhead_below_two_percent(self):
+        """Table XI: the shared backbone keeps overhead to the dense head."""
+        for arch in ("resnet", "densenet", "vgg"):
+            single = build_model(arch, 20, in_channels=3, seed=0)
+            dual = build_model(arch, 20, dual_channel=True, in_channels=3, seed=0)
+            overhead = (dual.num_parameters() - single.num_parameters()) / single.num_parameters()
+            assert 0.0 < overhead < 0.10
+
+    def test_dual_channel_order_matters(self):
+        model = build_model("resnet", 4, dual_channel=True, in_channels=3, seed=0)
+        model.eval()
+        a, b = Tensor(IMAGES), Tensor(IMAGES[::-1].copy())
+        out_ab = model((a, b)).data
+        out_ba = model((b, a)).data
+        assert not np.allclose(out_ab, out_ba)
+
+    def test_mlp_model_learns(self):
+        rng = np.random.default_rng(1)
+        x = np.concatenate([rng.normal(-2, 0.3, (20, 6)), rng.normal(2, 0.3, (20, 6))])
+        y = np.repeat([0, 1], 20)
+        model = build_model("mlp", 2, in_features=6, hidden=(16,), seed=0)
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        for _ in range(40):
+            opt.zero_grad()
+            loss = cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        assert (model(Tensor(x)).argmax(axis=1) == y).mean() == 1.0
+
+    def test_seeded_construction_is_deterministic(self):
+        a = build_model("resnet", 4, in_channels=3, seed=42)
+        b = build_model("resnet", 4, in_channels=3, seed=42)
+        for (name_a, pa), (name_b, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_different_seeds_differ(self):
+        a = build_model("resnet", 4, in_channels=3, seed=1)
+        b = build_model("resnet", 4, in_channels=3, seed=2)
+        assert not np.allclose(a.head.weight.data, b.head.weight.data)
+
+    def test_gradients_reach_every_parameter(self):
+        model = build_model("densenet", 4, dual_channel=True, in_channels=3, seed=0)
+        pair = (Tensor(IMAGES), Tensor(IMAGES))
+        loss = cross_entropy(model(pair), LABELS)
+        loss.backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert missing == []

@@ -1,0 +1,56 @@
+"""State-dict persistence."""
+
+import numpy as np
+
+from repro.nn.models import build_model
+from repro.nn.serialization import (
+    clone_state_dict,
+    load_state_dict,
+    save_state_dict,
+    state_dicts_allclose,
+)
+from repro.nn.tensor import Tensor
+
+
+def test_save_load_round_trip(tmp_path):
+    model = build_model("resnet", 4, in_channels=1, seed=0)
+    path = str(tmp_path / "ckpt" / "model.npz")
+    save_state_dict(model.state_dict(), path)
+    restored = load_state_dict(path)
+    assert state_dicts_allclose(model.state_dict(), restored)
+
+
+def test_load_without_extension(tmp_path):
+    model = build_model("mlp", 3, in_features=5, hidden=(4,), seed=0)
+    path = str(tmp_path / "model")
+    save_state_dict(model.state_dict(), path)
+    restored = load_state_dict(path)  # np.savez appends .npz
+    assert state_dicts_allclose(model.state_dict(), restored)
+
+
+def test_clone_is_deep():
+    model = build_model("mlp", 3, in_features=5, hidden=(4,), seed=0)
+    state = model.state_dict()
+    clone = clone_state_dict(state)
+    clone[next(iter(clone))][:] = 123.0
+    assert not state_dicts_allclose(state, clone)
+
+
+def test_allclose_detects_key_mismatch():
+    a = {"w": np.zeros(3)}
+    b = {"v": np.zeros(3)}
+    assert not state_dicts_allclose(a, b)
+
+
+def test_restored_model_predicts_identically(tmp_path):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2, 1, 8, 8))
+    model = build_model("resnet", 4, in_channels=1, seed=3)
+    model.eval()
+    before = model(Tensor(x)).data
+    path = str(tmp_path / "m.npz")
+    save_state_dict(model.state_dict(), path)
+    fresh = build_model("resnet", 4, in_channels=1, seed=99)
+    fresh.load_state_dict(load_state_dict(path))
+    fresh.eval()
+    np.testing.assert_allclose(fresh(Tensor(x)).data, before)

@@ -1,0 +1,93 @@
+"""Tensor API surface not covered by the gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, no_grad
+
+
+class TestConstruction:
+    def test_from_tensor_unwraps(self):
+        a = Tensor(np.ones(3))
+        b = Tensor(a)
+        np.testing.assert_array_equal(b.data, a.data)
+
+    def test_repr(self):
+        assert "requires_grad=True" in repr(Tensor(np.ones(2), requires_grad=True))
+        assert "requires_grad" not in repr(Tensor(np.ones(2)))
+
+    def test_len_size_ndim(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+    def test_item_on_scalar(self):
+        assert Tensor(np.array(3.5)).item() == 3.5
+
+    def test_numpy_returns_backing_array(self):
+        arr = np.ones(3)
+        assert Tensor(arr).numpy() is arr
+
+
+class TestCopySemantics:
+    def test_copy_is_independent(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.data[0] == 1.0
+        assert c.requires_grad
+
+    def test_transpose_property(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        np.testing.assert_array_equal(t.T.data, t.data.T)
+
+    def test_argmax(self):
+        t = Tensor(np.array([[1.0, 3.0], [5.0, 2.0]]))
+        np.testing.assert_array_equal(t.argmax(axis=1), [1, 0])
+
+
+class TestGradEnabledState:
+    def test_nested_no_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            with no_grad():
+                y = x * 2
+            z = x * 3  # still inside outer no_grad
+        assert not y.requires_grad
+        assert not z.requires_grad
+        w = x * 4  # outside: graph is back
+        assert w.requires_grad
+
+    def test_tensor_created_inside_no_grad_never_requires(self):
+        with no_grad():
+            t = Tensor(np.ones(2), requires_grad=True)
+        assert not t.requires_grad
+
+
+class TestBackwardEdgeCases:
+    def test_backward_with_broadcast_grad(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        (x * 2).backward(np.ones((1, 3)))  # broadcast up to (2, 3)
+        np.testing.assert_array_equal(x.grad, 2 * np.ones((2, 3)))
+
+    def test_repeated_backward_accumulates(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x * 3
+        y.backward()
+        y2 = x * 3
+        y2.backward()
+        np.testing.assert_array_equal(x.grad, [6.0])
+
+    def test_pow_tensor_exponent_rejected(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(TypeError):
+            x ** Tensor(np.ones(2))
+
+    def test_rsub_rdiv(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        (10.0 - x).backward()
+        np.testing.assert_array_equal(x.grad, [-1.0])
+        x.zero_grad()
+        (8.0 / x).backward()
+        np.testing.assert_array_equal(x.grad, [-2.0])  # -8/x^2

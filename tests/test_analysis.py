@@ -1,0 +1,131 @@
+"""Shape-agreement analysis and the paper's reference data."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_sweeps,
+    ordering_agreement,
+    paper_reference as ref,
+    spearman_rank_correlation,
+    trend_agreement,
+    trend_direction,
+)
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        assert spearman_rank_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+        assert spearman_rank_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_handles_ties(self):
+        rho = spearman_rank_correlation([1, 1, 2], [1, 1, 2])
+        assert rho == pytest.approx(1.0)
+
+    def test_constant_series_is_zero(self):
+        assert spearman_rank_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1], [1])
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1, 2], [1, 2, 3])
+
+    def test_nonlinear_but_monotone_still_one(self):
+        x = [0.1, 0.2, 0.3, 0.4]
+        y = [np.exp(v) for v in x]
+        assert spearman_rank_correlation(x, y) == pytest.approx(1.0)
+
+
+class TestTrends:
+    def test_direction(self):
+        assert trend_direction([1, 2, 3]) == 1
+        assert trend_direction([3, 1, 0]) == -1
+        assert trend_direction([1.0, 1.005], tolerance=0.01) == 0
+
+    def test_agreement(self):
+        assert trend_agreement([0.9, 0.6], [0.95, 0.64])
+        assert not trend_agreement([0.6, 0.9], [0.95, 0.64])
+        # flat published matches anything
+        assert trend_agreement([0.6, 0.9], [0.5, 0.5])
+        # flat measured matches any published direction (within tolerance)
+        assert trend_agreement([0.70, 0.705], [0.9, 0.5], tolerance=0.01)
+
+
+class TestOrdering:
+    def test_perfect(self):
+        assert ordering_agreement([1, 2, 3], [10, 20, 30]) == 1.0
+
+    def test_inverted(self):
+        assert ordering_agreement([3, 2, 1], [1, 2, 3]) == 0.0
+
+    def test_ties_half(self):
+        assert ordering_agreement([1, 1], [1, 2]) == 0.5
+
+
+class TestCompareSweeps:
+    def test_agreeing_sweep(self):
+        published = [0.95, 0.89, 0.75, 0.65, 0.61]  # paper's Table VI cifar
+        measured = [0.90, 0.80, 0.72, 0.70, 0.60]
+        report = compare_sweeps(measured, published)
+        assert report.agrees
+        assert report.spearman > 0.9
+
+    def test_disagreeing_sweep(self):
+        published = [0.95, 0.89, 0.75, 0.65, 0.61]
+        measured = [0.55, 0.60, 0.72, 0.80, 0.90]
+        report = compare_sweeps(measured, published)
+        assert not report.agrees
+
+
+class TestPaperReference:
+    def test_table5_structure(self):
+        for dataset in ("cifar100", "cifar_aug", "chmnist", "purchase50"):
+            alphas, accuracies = ref.table5_sweep(dataset)
+            assert alphas == [0.1, 0.3, 0.5, 0.7, 0.9]
+            assert all(0.0 < a < 1.0 for a in accuracies)
+
+    def test_paper_table5_claims_hold_in_reference_data(self):
+        """Sanity: the transcription reproduces the paper's own take-aways."""
+        for dataset, row in ref.TABLE5_ACCURACY.items():
+            # at most ~2% drop even at alpha=0.9 relative to no defense
+            assert row[0.9] > row[0.0] - 0.04
+            # small alphas are on par or better than no defense
+            assert row[0.1] >= row[0.0] - 0.005
+
+    def test_paper_table6_decreasing_in_alpha(self):
+        for dataset in ref.TABLE6_OPT1:
+            alphas, series = ref.table6_external_sweep(dataset)
+            assert trend_direction(series, tolerance=0.02) <= 0
+
+    def test_paper_table10_increasing_in_alpha(self):
+        for dataset in ref.TABLE10_INVERSE:
+            _, series = ref.table10_sweep(dataset)
+            assert trend_direction(series) == 1
+            assert max(series) < 0.5  # at or below random guessing
+
+    def test_table11_overhead_matches_headline(self):
+        overheads = [
+            100.0 * (cip - none) / none
+            for none, cip, _, _ in ref.TABLE11_OVERHEAD.values()
+        ]
+        assert np.mean(overheads) == pytest.approx(
+            ref.HEADLINES["param_overhead_pct"], abs=0.15
+        )
+        for _, _, epochs_none, epochs_cip in ref.TABLE11_OVERHEAD.values():
+            assert epochs_cip * 2 == epochs_none  # the 50% claim
+
+    def test_table4_attack_accuracy_near_random(self):
+        accuracies = [acc for *_rest, acc in ref.TABLE4_ATTACK_METRICS.values()]
+        assert max(accuracies) <= 0.65
+        assert np.mean(accuracies) < 0.55
+
+    def test_table3_crossover(self):
+        """CIP beats no-defense under non-i.i.d., loses slightly at i.i.d."""
+        assert ref.TABLE3_HETEROGENEITY[20][0] > ref.TABLE3_HETEROGENEITY[20][1]
+        assert ref.TABLE3_HETEROGENEITY[100][0] < ref.TABLE3_HETEROGENEITY[100][1]
+
+    def test_knowledge3_gap_structure(self):
+        k3 = ref.KNOWLEDGE3
+        assert k3["train_acc_true_t"] - k3["test_acc_true_t"] > 0.3
+        assert k3["train_acc_substitute_t"] - k3["test_acc_substitute_t"] < 0.05

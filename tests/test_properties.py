@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.blending import blend_arrays, invert_blend
+from repro.fl.aggregation import fedavg, flatten_state
+from repro.metrics.classification import binary_metrics, roc_auc
+from repro.metrics.emd import emd_1d
+from repro.nn.functional import one_hot, softmax
+from repro.nn.losses import per_sample_cross_entropy
+from repro.nn.tensor import Tensor
+
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+unit_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=arrays(np.float64, (4, 6), elements=unit_floats),
+    t=arrays(np.float64, (6,), elements=unit_floats),
+    alpha=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_blend_invertible_without_clipping(x, t, alpha):
+    """B is a bijection pre-clip: invert_blend recovers (x, t) exactly."""
+    a, b = blend_arrays(x, t, alpha, clip_range=None)
+    x_rec, t_rec = invert_blend(a, b, alpha)
+    np.testing.assert_allclose(x_rec, x, atol=1e-9)
+    np.testing.assert_allclose(t_rec, np.broadcast_to(t, x.shape), atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=arrays(np.float64, (3, 5), elements=unit_floats),
+    t=arrays(np.float64, (5,), elements=unit_floats),
+    alpha=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_blend_clipped_stays_in_range(x, t, alpha):
+    a, b = blend_arrays(x, t, alpha)
+    assert a.min() >= 0.0 and a.max() <= 1.0
+    assert b.min() >= 0.0 and b.max() <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=arrays(np.float64, (5, 3), elements=finite_floats),
+    weights=st.lists(
+        st.floats(min_value=0.1, max_value=10.0), min_size=5, max_size=5
+    ),
+)
+def test_fedavg_convexity(values, weights):
+    """The FedAvg result lies inside the per-coordinate hull of the inputs."""
+    states = [{"w": row.copy()} for row in values]
+    merged = fedavg(states, weights=weights)
+    stacked = np.stack([s["w"] for s in states])
+    assert (merged["w"] >= stacked.min(axis=0) - 1e-9).all()
+    assert (merged["w"] <= stacked.max(axis=0) + 1e-9).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=arrays(np.float64, (4, 3), elements=finite_floats))
+def test_fedavg_idempotent_on_identical_states(values):
+    state = {"w": values}
+    merged = fedavg([state, state, state])
+    np.testing.assert_allclose(flatten_state(merged), flatten_state(state), atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(logits=arrays(np.float64, (6, 4), elements=finite_floats))
+def test_softmax_is_distribution(logits):
+    probs = softmax(Tensor(logits)).data
+    assert (probs >= 0).all()
+    np.testing.assert_allclose(probs.sum(axis=1), np.ones(6), atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    logits=arrays(np.float64, (5, 3), elements=finite_floats),
+    labels=arrays(np.int64, (5,), elements=st.integers(min_value=0, max_value=2)),
+)
+def test_cross_entropy_nonnegative_and_finite(logits, labels):
+    losses = per_sample_cross_entropy(logits, labels)
+    assert (losses >= -1e-12).all()
+    assert np.isfinite(losses).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(labels=arrays(np.int64, (8,), elements=st.integers(min_value=0, max_value=4)))
+def test_one_hot_rows_sum_to_one(labels):
+    hot = one_hot(labels, 5)
+    np.testing.assert_array_equal(hot.sum(axis=1), np.ones(8))
+    np.testing.assert_array_equal(hot.argmax(axis=1), labels)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=arrays(np.float64, (10,), elements=finite_floats),
+    b=arrays(np.float64, (10,), elements=finite_floats),
+    c=arrays(np.float64, (10,), elements=finite_floats),
+)
+def test_emd_triangle_inequality(a, b, c):
+    assert emd_1d(a, c) <= emd_1d(a, b) + emd_1d(b, c) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=arrays(np.float64, (10,), elements=finite_floats))
+def test_emd_identity(a):
+    assert emd_1d(a, a) == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    scores=arrays(np.float64, (12,), elements=unit_floats),
+    labels=arrays(np.int64, (12,), elements=st.integers(min_value=0, max_value=1)),
+)
+def test_auc_flip_symmetry(scores, labels):
+    """Negating the scores mirrors the AUC around 0.5."""
+    auc = roc_auc(scores, labels)
+    flipped = roc_auc(-scores, labels)
+    assert auc + flipped == np.float64(1.0) or abs(auc + flipped - 1.0) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    predictions=arrays(np.bool_, (15,)),
+    labels=arrays(np.bool_, (15,)),
+)
+def test_binary_metrics_confusion_sums(predictions, labels):
+    m = binary_metrics(predictions, labels)
+    assert (
+        m.true_positives + m.false_positives + m.true_negatives + m.false_negatives
+        == 15
+    )
+    assert 0.0 <= m.accuracy <= 1.0
+    assert 0.0 <= m.precision <= 1.0
+    assert 0.0 <= m.recall <= 1.0
