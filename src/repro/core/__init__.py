@@ -11,7 +11,7 @@ Public surface:
 """
 
 from repro.core.blending import blend, blend_arrays, invert_blend
-from repro.core.config import CIPConfig
+from repro.core.config import CIPConfig, ExecutionConfig
 from repro.core.perturbation import Perturbation, optimize_perturbation_for_model
 from repro.core.trainer import (
     CIPTrainer,
@@ -32,6 +32,7 @@ from repro.core.theory import (
 
 __all__ = [
     "CIPConfig",
+    "ExecutionConfig",
     "blend",
     "blend_arrays",
     "invert_blend",

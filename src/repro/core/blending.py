@@ -69,13 +69,21 @@ def blend_arrays(
     alpha: float,
     clip_range: ClipRange = (0.0, 1.0),
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Non-differentiable blending on raw arrays (attack-side helper)."""
-    x = np.asarray(x, dtype=np.float64)
+    """Non-differentiable blending on raw arrays (attack-side helper).
+
+    The input's floating dtype is preserved (integer inputs are promoted to
+    ``float64``): attack pipelines call this per batch on the hot path, and
+    forcing a ``float64`` copy would silently double the memory traffic of a
+    ``float32`` pipeline.  ``t`` is cast to match ``x``.
+    """
+    x = np.asarray(x)
+    if not np.issubdtype(x.dtype, np.floating):
+        x = x.astype(np.float64)
     if t is None:
         channel_a = (1.0 - alpha) * x
         channel_b = (1.0 + alpha) * x
     else:
-        t = np.asarray(t, dtype=np.float64)
+        t = np.asarray(t, dtype=x.dtype)
         _broadcast_t(t.shape, x.shape)
         channel_a = (1.0 - alpha) * x + alpha * t
         channel_b = (1.0 + alpha) * x - alpha * t

@@ -86,6 +86,21 @@ class CIPClient(FLClient):
             train_loss=loss,
         )
 
+    # -- state round-trip ------------------------------------------------------
+    def _extra_mutable_state(self) -> Dict[str, object]:
+        return {
+            "perturbation_t": self.perturbation.value,
+            "perturbation_optimizer": self.perturbation._optimizer.state_dict(),
+        }
+
+    def _load_extra_state(self, extra: Dict[str, object]) -> None:
+        t_value = extra.get("perturbation_t")
+        if t_value is not None:
+            self.perturbation.t.data = np.array(t_value, copy=True)
+        optimizer_state = extra.get("perturbation_optimizer")
+        if optimizer_state is not None:
+            self.perturbation._optimizer.load_state_dict(optimizer_state)
+
     # -- inference ------------------------------------------------------------
     def evaluate(self, dataset: Dataset) -> EvalResult:
         """Accuracy with queries blended using this client's secret ``t``."""

@@ -1,9 +1,51 @@
-"""CIP hyperparameters (paper Tables I and II)."""
+"""CIP hyperparameters (paper Tables I and II) and execution settings."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Optional, Tuple
+
+#: Round-execution backends understood by :class:`ExecutionConfig`.
+EXECUTION_BACKENDS = ("sequential", "process")
+
+
+@dataclass
+class ExecutionConfig:
+    """How FedAvg rounds are executed (see :mod:`repro.fl.executor`).
+
+    Attributes
+    ----------
+    backend:
+        ``"sequential"`` trains clients one after another in-process;
+        ``"process"`` fans the round out over a persistent worker pool.
+        Both produce bitwise-identical results for seeded runs (as long as
+        ``wire_dtype`` stays ``None``).
+    num_workers:
+        Worker-process count for the ``process`` backend; ``None`` uses all
+        CPU cores.  More workers than selected clients per round is wasted.
+    wire_dtype:
+        Optional ``"float32"`` compression of broadcast/update payloads.
+        Halves wire bytes, but the lossy cast forfeits bitwise equality
+        with the sequential path.
+    round_timeout:
+        Optional wall-clock budget (seconds) for one round on the
+        ``process`` backend; expiry raises instead of hanging.
+    """
+
+    backend: str = "sequential"
+    num_workers: Optional[int] = None
+    wire_dtype: Optional[str] = None
+    round_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in EXECUTION_BACKENDS:
+            raise ValueError(f"backend must be one of {EXECUTION_BACKENDS}")
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if self.wire_dtype not in (None, "float32", "float64"):
+            raise ValueError("wire_dtype must be None, 'float32' or 'float64'")
+        if self.round_timeout is not None and self.round_timeout <= 0:
+            raise ValueError("round_timeout must be positive")
 
 
 @dataclass

@@ -43,6 +43,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--verbose", action="store_true", help="enable progress logging to stderr"
     )
+    parser.add_argument(
+        "--backend",
+        default="sequential",
+        choices=("sequential", "process"),
+        help="round-execution engine for federated experiments "
+        "(process = parallel clients via a persistent worker pool)",
+    )
+    parser.add_argument(
+        "--num-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --backend process (default: all cores)",
+    )
+    parser.add_argument(
+        "--wire-dtype",
+        default=None,
+        choices=("float32", "float64"),
+        help="compress broadcast/update payloads to this dtype "
+        "(float32 halves traffic but breaks bitwise reproducibility)",
+    )
     return parser
 
 
@@ -50,6 +71,17 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.verbose:
         enable_console_logging()
+
+    from repro.core.config import ExecutionConfig
+    from repro.experiments.common import set_execution_config
+
+    set_execution_config(
+        ExecutionConfig(
+            backend=args.backend,
+            num_workers=args.num_workers,
+            wire_dtype=args.wire_dtype,
+        )
+    )
 
     if args.list:
         for spec in list_experiments():

@@ -15,7 +15,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.attacks.base import AttackData, CIPTarget, PlainTarget
-from repro.core.config import CIPConfig
+from repro.core.config import CIPConfig, ExecutionConfig
 from repro.core.perturbation import Perturbation
 from repro.core.trainer import CIPTrainer
 from repro.data.benchmarks import (
@@ -26,6 +26,8 @@ from repro.data.benchmarks import (
     load_dataset,
 )
 from repro.experiments.profiles import Profile
+from repro.fl.executor import RoundExecutor, make_executor
+from repro.fl.simulation import FederatedSimulation
 from repro.fl.training import train_supervised
 from repro.nn.layers import Module
 from repro.nn.models import build_model
@@ -38,6 +40,54 @@ _log = get_logger("experiments.common")
 _BUNDLE_CACHE: Dict[tuple, DatasetBundle] = {}
 _LEGACY_CACHE: Dict[tuple, "LegacyArtifact"] = {}
 _CIP_CACHE: Dict[tuple, "CIPArtifact"] = {}
+
+_EXECUTION_CONFIG = ExecutionConfig()
+
+
+def set_execution_config(config: ExecutionConfig) -> None:
+    """Select the round-execution engine for all federated experiments.
+
+    The experiment CLI threads ``--backend``/``--num-workers`` through here;
+    every simulation built by :func:`run_federated` then uses it.
+    """
+    global _EXECUTION_CONFIG
+    _EXECUTION_CONFIG = config
+
+
+def get_execution_config() -> ExecutionConfig:
+    return _EXECUTION_CONFIG
+
+
+def build_executor() -> RoundExecutor:
+    """A fresh round executor honouring the active :class:`ExecutionConfig`.
+
+    Fresh per simulation because a pooled executor's workers cache the
+    client population they were built with.
+    """
+    config = _EXECUTION_CONFIG
+    return make_executor(
+        backend=config.backend,
+        num_workers=config.num_workers,
+        wire_dtype=config.wire_dtype,
+        round_timeout=config.round_timeout,
+    )
+
+
+def run_federated(server, clients, rounds: int, **sim_kwargs) -> FederatedSimulation:
+    """Run a FedAvg simulation on the configured execution backend.
+
+    Builds the simulation with :func:`build_executor`, runs ``rounds``
+    rounds, and always releases pooled workers before returning the
+    (finished) simulation for inspection.
+    """
+    simulation = FederatedSimulation(
+        server, clients, executor=build_executor(), **sim_kwargs
+    )
+    try:
+        simulation.run(rounds)
+    finally:
+        simulation.close()
+    return simulation
 
 
 def clear_caches() -> None:

@@ -24,13 +24,18 @@ from repro.core.cip_client import CIPClient
 from repro.core.perturbation import Perturbation
 from repro.core.trainer import CIPTrainer
 from repro.data.partition import partition_by_classes
-from repro.experiments.common import attack_pools, get_bundle, make_cip_config, train_cip
+from repro.experiments.common import (
+    attack_pools,
+    get_bundle,
+    make_cip_config,
+    run_federated,
+    train_cip,
+)
 from repro.experiments.profiles import Profile
 from repro.experiments.registry import register
 from repro.experiments.results import ExperimentResult
 from repro.fl.client import ClientConfig
 from repro.fl.server import FLServer
-from repro.fl.simulation import FederatedSimulation
 from repro.data.benchmarks import default_training
 from repro.nn.layers import Module
 from repro.nn.losses import cross_entropy
@@ -225,8 +230,7 @@ def ablation_shared_t(profile: Profile) -> ExperimentResult:
             for client in clients:
                 client.perturbation.optimize = lambda *a, **k: float("nan")
         server = FLServer(factory)
-        simulation = FederatedSimulation(server, clients)
-        simulation.run(profile.fl_rounds)
+        simulation = run_federated(server, clients, profile.fl_rounds)
         return float(np.mean(simulation.evaluate_clients(bundle.test)))
 
     result.add_row(variant="personalized_t", mean_client_test_acc=run(shared=False))

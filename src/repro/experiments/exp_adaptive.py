@@ -19,7 +19,7 @@ from repro.attacks.internal import StateEvaluator, cip_zero_blend_forward
 from repro.attacks.ob_malt import ObMALTAttack
 from repro.core.cip_client import CIPClient
 from repro.data.partition import partition_iid
-from repro.experiments.common import attack_pools, get_bundle, train_cip
+from repro.experiments.common import attack_pools, build_executor, get_bundle, train_cip
 from repro.experiments.profiles import Profile
 from repro.experiments.registry import register
 from repro.experiments.results import ExperimentResult
@@ -124,7 +124,7 @@ def _cip_federation(dataset: str, alpha: float, profile: Profile, num_clients: i
         for i in range(num_clients)
     ]
     server = FLServer(factory)
-    simulation = FederatedSimulation(server, clients)
+    simulation = FederatedSimulation(server, clients, executor=build_executor())
     return bundle, config, factory, simulation, clients, shards
 
 

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.core.cip_client import CIPClient
 from repro.data.partition import partition_by_classes
-from repro.experiments.common import get_bundle, make_cip_config
+from repro.experiments.common import get_bundle, make_cip_config, run_federated
 from repro.experiments.profiles import Profile
 from repro.experiments.registry import register
 from repro.experiments.results import ExperimentResult
@@ -75,8 +75,7 @@ def _run_fl(
             for i in range(len(shards))
         ]
     server = FLServer(factory)
-    simulation = FederatedSimulation(server, clients)
-    simulation.run(profile.fl_rounds)
+    simulation = run_federated(server, clients, profile.fl_rounds)
     if use_cip:
         accuracy = float(np.mean(simulation.evaluate_clients(bundle.test)))
     else:

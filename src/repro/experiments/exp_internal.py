@@ -29,7 +29,7 @@ from repro.data.dataset import Dataset
 from repro.data.partition import partition_by_classes
 from repro.defenses.dp import DPClient, DPConfig
 from repro.defenses.hdp import HandcraftedFeatureExtractor
-from repro.experiments.common import get_bundle, make_cip_config
+from repro.experiments.common import get_bundle, make_cip_config, run_federated
 from repro.experiments.profiles import Profile
 from repro.experiments.registry import register
 from repro.experiments.results import ExperimentResult
@@ -132,10 +132,7 @@ def _train_federation(
 
     server = FLServer(factory)
     snapshot_rounds = range(max(0, rounds - SNAPSHOT_TAIL), rounds)
-    simulation = FederatedSimulation(
-        server, clients, snapshot_rounds=snapshot_rounds
-    )
-    simulation.run(rounds)
+    simulation = run_federated(server, clients, rounds, snapshot_rounds=snapshot_rounds)
 
     if defense == "cip":
         accuracies = simulation.evaluate_clients(bundle.test)
@@ -196,8 +193,7 @@ def _hdp_federation(
     ]
     server = FLServer(factory)
     snapshot_rounds = range(max(0, rounds - SNAPSHOT_TAIL), rounds)
-    simulation = FederatedSimulation(server, clients, snapshot_rounds=snapshot_rounds)
-    simulation.run(rounds)
+    simulation = run_federated(server, clients, rounds, snapshot_rounds=snapshot_rounds)
     test_accuracy = evaluate_model(server.model, test_features).accuracy
     # The attack surface for HDP lives in feature space: the adversary (the
     # server) sees the linear head, whose inputs are the public features.

@@ -1,15 +1,25 @@
-"""Table XI: CIP's overhead — parameter count and epochs to converge (RQ5)."""
+"""Table XI: CIP's overhead — parameter count, epochs to converge, and the
+round-execution cost of the federated loop (RQ5)."""
 
 from __future__ import annotations
 
+import os
 from typing import Optional
+
+import numpy as np
 
 from repro.core.perturbation import Perturbation
 from repro.core.trainer import CIPTrainer
+from repro.data.partition import partition_iid
+from repro.data.synthetic import TabularSpec, generate_tabular_dataset
 from repro.experiments.common import get_bundle, make_cip_config
 from repro.experiments.profiles import Profile
 from repro.experiments.registry import register
 from repro.experiments.results import ExperimentResult
+from repro.fl.client import ClientConfig, FLClient
+from repro.fl.executor import make_executor
+from repro.fl.server import FLServer
+from repro.fl.simulation import FederatedSimulation
 from repro.fl.training import evaluate_model, train_supervised
 from repro.nn.models import build_model
 from repro.nn.optim import SGD
@@ -95,4 +105,75 @@ def table11(profile: Profile) -> ExperimentResult:
             epochs_cip=epochs_cip if epochs_cip is not None else f">{MAX_EPOCHS}",
         )
     result.add_note("paper: +0.87% parameters (the widened dense head); half the epochs")
+    return result
+
+
+def _round_timing_federation(num_clients: int, seed: int = 0):
+    """A small synthetic federation used purely for timing rounds."""
+    spec = TabularSpec(num_classes=8, num_features=64, flip_probability=0.1)
+    dataset = generate_tabular_dataset(spec, samples_per_class=32, seed=seed)
+    shards = partition_iid(dataset, num_clients, seed=derive_rng(seed, "t11b"))
+
+    def factory():
+        return build_model("mlp", spec.num_classes, in_features=spec.num_features,
+                           hidden=(64,), seed=derive_rng(seed, "t11b-m"))
+
+    server = FLServer(factory)
+    clients = [
+        FLClient(i, shards[i], factory, ClientConfig(lr=5e-2),
+                 seed=derive_rng(seed, "t11b-c", i))
+        for i in range(num_clients)
+    ]
+    return server, clients
+
+
+@register("table11b", "Overhead: round execution timing per backend", "Table XI")
+def table11b(profile: Profile) -> ExperimentResult:
+    """Per-round wall clock, client compute, and wire traffic per backend.
+
+    Complements the parameter/epoch overhead of Table XI with the execution
+    telemetry now recorded in :class:`repro.fl.simulation.FLHistory`: the
+    sequential engine's wall clock equals the sum of client compute, while
+    the process engine's wall clock approaches ``compute / num_workers`` on
+    multi-core hosts.
+    """
+    result = ExperimentResult(
+        experiment_id="table11b",
+        title="FedAvg round execution cost: sequential vs process backend",
+        columns=[
+            "backend",
+            "clients",
+            "rounds_per_sec",
+            "mean_round_sec",
+            "client_compute_sec",
+            "mb_broadcast",
+            "mb_aggregated",
+        ],
+    )
+    rounds = max(2, min(profile.fl_rounds, 6))
+    num_clients = max(profile.client_counts)
+    workers = min(num_clients, os.cpu_count() or 1)
+    for backend in ("sequential", "process"):
+        executor = make_executor(backend=backend, num_workers=workers)
+        with FederatedSimulation(
+            *_round_timing_federation(num_clients), executor=executor
+        ) as simulation:
+            simulation.run(rounds)
+        metrics = simulation.history.round_metrics
+        mean_round = simulation.history.mean_round_seconds()
+        result.add_row(
+            backend=backend,
+            clients=num_clients,
+            rounds_per_sec=(1.0 / mean_round) if mean_round > 0 else float("inf"),
+            mean_round_sec=mean_round,
+            client_compute_sec=float(
+                np.mean([m.total_compute_seconds for m in metrics])
+            ),
+            mb_broadcast=sum(m.bytes_broadcast for m in metrics) / 1e6,
+            mb_aggregated=sum(m.bytes_aggregated for m in metrics) / 1e6,
+        )
+    result.add_note(
+        f"{workers} worker(s) on {os.cpu_count()} core(s); both backends are "
+        "bitwise-identical for seeded runs (see DESIGN.md: executor architecture)"
+    )
     return result

@@ -12,13 +12,12 @@ from __future__ import annotations
 
 from repro.data.benchmarks import default_training
 from repro.data.partition import partition_by_classes
-from repro.experiments.common import get_bundle, train_legacy
+from repro.experiments.common import get_bundle, run_federated, train_legacy
 from repro.experiments.profiles import Profile
 from repro.experiments.registry import register
 from repro.experiments.results import ExperimentResult
 from repro.fl.client import ClientConfig, FLClient
 from repro.fl.server import FLServer
-from repro.fl.simulation import FederatedSimulation
 from repro.fl.training import evaluate_model
 from repro.nn.models import build_model
 from repro.utils.rng import derive_rng
@@ -68,8 +67,7 @@ def table1(profile: Profile) -> ExperimentResult:
             server, clients, shards = build_federation(
                 bundle, num_clients, architecture, profile
             )
-            sim = FederatedSimulation(server, clients)
-            sim.run(rounds)
+            sim = run_federated(server, clients, rounds)
             train_acc = sum(
                 evaluate_model(server.model, shard).accuracy for shard in shards
             ) / num_clients

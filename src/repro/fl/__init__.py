@@ -2,8 +2,20 @@
 
 from repro.fl.aggregation import apply_delta, fedavg, flatten_state, state_delta
 from repro.fl.client import ClientConfig, ClientUpdate, FLClient
+from repro.fl.executor import (
+    ParallelExecutor,
+    RoundExecutionError,
+    RoundExecutor,
+    SequentialExecutor,
+    make_executor,
+)
 from repro.fl.server import FLServer
-from repro.fl.simulation import FederatedSimulation, FLHistory, RoundSnapshot
+from repro.fl.simulation import (
+    FederatedSimulation,
+    FLHistory,
+    RoundMetrics,
+    RoundSnapshot,
+)
 from repro.fl.local import (
     LocalTrainingResult,
     remap_to_local_classes,
@@ -35,7 +47,13 @@ __all__ = [
     "FLServer",
     "FederatedSimulation",
     "FLHistory",
+    "RoundMetrics",
     "RoundSnapshot",
+    "RoundExecutor",
+    "RoundExecutionError",
+    "SequentialExecutor",
+    "ParallelExecutor",
+    "make_executor",
     "LocalTrainingResult",
     "remap_to_local_classes",
     "run_local_training",

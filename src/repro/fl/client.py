@@ -46,6 +46,29 @@ class ClientUpdate:
     train_loss: float
 
 
+@dataclass
+class ClientMutableState:
+    """Everything about a client that evolves across rounds.
+
+    The parallel round executor ships this to a worker process, runs
+    :meth:`FLClient.local_update` there, and applies the returned state back
+    onto the authoritative client object in the coordinator process — so a
+    worker-executed round leaves the client bit-for-bit identical to an
+    in-process round.  Heavy immutable pieces (the data shard, the model
+    architecture) are shipped once at pool start-up, not here.
+
+    ``extra`` carries subclass state: :class:`repro.core.cip_client.CIPClient`
+    stores its secret perturbation and the perturbation optimizer there.
+    """
+
+    model_state: StateDict
+    optimizer_state: Dict[str, object]
+    round_index: int
+    seed_rng: Optional[np.random.Generator] = None
+    augment_rng: Optional[np.random.Generator] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
 class FLClient:
     """A benign FL participant training the plain single-channel model."""
 
@@ -98,6 +121,41 @@ class FLClient:
             seed=derive_rng(self._seed, "round", self._round),
             augment=self.augment,
         )
+
+    # -- state round-trip (parallel execution / checkpointing) -------------
+    def get_mutable_state(self) -> ClientMutableState:
+        """Snapshot the client state that evolves across rounds.
+
+        Subclasses with extra per-round state (e.g. the CIP perturbation)
+        override :meth:`_extra_mutable_state` / :meth:`_load_extra_state`
+        rather than this pair.
+        """
+        seed_rng = self._seed if isinstance(self._seed, np.random.Generator) else None
+        return ClientMutableState(
+            model_state=clone_state_dict(self.model.state_dict()),
+            optimizer_state=self._optimizer.state_dict(),
+            round_index=self._round,
+            seed_rng=seed_rng,
+            augment_rng=getattr(self.augment, "_rng", None),
+            extra=self._extra_mutable_state(),
+        )
+
+    def set_mutable_state(self, state: ClientMutableState) -> None:
+        """Restore a snapshot taken by :meth:`get_mutable_state`."""
+        self.model.load_state_dict(state.model_state)
+        self._optimizer.load_state_dict(state.optimizer_state)
+        self._round = state.round_index
+        if state.seed_rng is not None:
+            self._seed = state.seed_rng
+        if state.augment_rng is not None and self.augment is not None:
+            self.augment._rng = state.augment_rng
+        self._load_extra_state(state.extra)
+
+    def _extra_mutable_state(self) -> Dict[str, object]:
+        return {}
+
+    def _load_extra_state(self, extra: Dict[str, object]) -> None:
+        pass
 
     # -- hooks for schedules / evaluation ---------------------------------
     def set_lr(self, lr: float) -> None:

@@ -1,0 +1,394 @@
+"""Pluggable round-execution engines for the FedAvg simulation.
+
+Within a round every selected client's :meth:`~repro.fl.client.FLClient.
+local_update` is independent, so the round is embarrassingly parallel.  This
+module extracts that stage behind :class:`RoundExecutor`:
+
+* :class:`SequentialExecutor` — the original in-process path: broadcast,
+  train, collect, one client after another.
+* :class:`ParallelExecutor` — a persistent ``ProcessPoolExecutor``-backed
+  engine.  Worker processes receive each client's full picklable definition
+  (data shard, model, config) **once** at pool start-up; per round only the
+  client's mutable state (model/optimizer/perturbation state dicts, RNG
+  state) and a single shared packed broadcast payload cross the process
+  boundary.  After training, the worker ships the mutable state back and the
+  coordinator applies it to the authoritative client object — so a parallel
+  round is bit-for-bit identical to a sequential one (each client owns its
+  seeded RNG; no draw order is shared across clients).
+
+Determinism caveat: the optional ``wire_dtype="float32"`` knob halves the
+broadcast/update payloads but rounds the wire copies, trading bitwise
+equality with the sequential path for bandwidth.  Leave it ``None`` (the
+default) when reproducing paper numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from time import monotonic
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fl.client import ClientMutableState, ClientUpdate, FLClient
+from repro.nn.serialization import (
+    pack_state_dict,
+    state_dict_nbytes,
+    unpack_state_dict,
+)
+from repro.utils.logging import get_logger
+from repro.utils.timer import Stopwatch
+
+StateDict = Dict[str, np.ndarray]
+_log = get_logger("fl.executor")
+
+BACKENDS = ("sequential", "process")
+
+
+class RoundExecutionError(RuntimeError):
+    """A client failed, timed out, or its worker died during a round."""
+
+
+@dataclass
+class ClientExecution:
+    """One client's result within a round, with its compute time."""
+
+    update: ClientUpdate
+    compute_seconds: float
+
+
+@dataclass
+class RoundExecution:
+    """All client results of one round plus wire-traffic accounting."""
+
+    results: List[ClientExecution]
+    bytes_broadcast: int
+    bytes_aggregated: int
+
+    @property
+    def updates(self) -> List[ClientUpdate]:
+        return [result.update for result in self.results]
+
+
+class RoundExecutor(ABC):
+    """Strategy for running the local-training stage of a FedAvg round."""
+
+    name = "abstract"
+
+    def prepare(self, clients: Sequence[FLClient]) -> None:
+        """Register the full client population before the first round.
+
+        Called once by :class:`~repro.fl.simulation.FederatedSimulation`;
+        lets pooled executors ship the heavy immutable client definitions to
+        workers a single time instead of every round.
+        """
+
+    @abstractmethod
+    def execute(self, participants: Sequence[FLClient], server) -> RoundExecution:
+        """Run ``local_update`` for every participant, in participant order.
+
+        On return the participant objects reflect their post-round state,
+        exactly as if they had trained in-process.
+        """
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+    def __enter__(self) -> "RoundExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SequentialExecutor(RoundExecutor):
+    """The classic single-process path: clients train one after another."""
+
+    name = "sequential"
+
+    def execute(self, participants: Sequence[FLClient], server) -> RoundExecution:
+        results: List[ClientExecution] = []
+        bytes_broadcast = 0
+        bytes_aggregated = 0
+        for client in participants:
+            state = server.broadcast(client.client_id)
+            bytes_broadcast += state_dict_nbytes(state)
+            client.receive_global(state)
+            try:
+                with Stopwatch() as watch:
+                    update = client.local_update()
+            except Exception as exc:
+                raise RoundExecutionError(
+                    f"client {client.client_id} failed during local_update: {exc!r}"
+                ) from exc
+            bytes_aggregated += state_dict_nbytes(update.state)
+            results.append(ClientExecution(update=update, compute_seconds=watch.elapsed))
+        return RoundExecution(
+            results=results,
+            bytes_broadcast=bytes_broadcast,
+            bytes_aggregated=bytes_aggregated,
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-process side of the parallel engine
+# ----------------------------------------------------------------------
+# Populated once per worker by the pool initializer; workers are persistent
+# across rounds, so the heavy client definitions cross the process boundary
+# exactly once per pool lifetime.
+_WORKER_CLIENTS: Dict[int, FLClient] = {}
+
+
+def _worker_init(payload: bytes) -> None:
+    global _WORKER_CLIENTS
+    _WORKER_CLIENTS = pickle.loads(payload)
+
+
+@dataclass
+class _WorkerResult:
+    client_id: int
+    update_payload: bytes
+    num_samples: int
+    train_loss: float
+    mutable_state: ClientMutableState
+    compute_seconds: float
+
+
+def _worker_run_client(
+    client_id: int,
+    mutable_state: ClientMutableState,
+    broadcast_payload: bytes,
+    wire_dtype: Optional[str],
+) -> _WorkerResult:
+    client = _WORKER_CLIENTS.get(client_id)
+    if client is None:
+        raise RuntimeError(
+            f"worker holds no definition for client {client_id}; pool out of sync"
+        )
+    client.set_mutable_state(mutable_state)
+    client.receive_global(unpack_state_dict(broadcast_payload))
+    with Stopwatch() as watch:
+        update = client.local_update()
+    return _WorkerResult(
+        client_id=client_id,
+        update_payload=pack_state_dict(update.state, wire_dtype),
+        num_samples=update.num_samples,
+        train_loss=update.train_loss,
+        mutable_state=client.get_mutable_state(),
+        compute_seconds=watch.elapsed,
+    )
+
+
+class ParallelExecutor(RoundExecutor):
+    """Process-pool round engine with a persistent worker population.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker processes; ``None``/``0`` resolves to ``os.cpu_count()``.
+    wire_dtype:
+        Optional ``"float32"`` compression of the broadcast and update
+        payloads (lossy — see the module docstring).
+    round_timeout:
+        Wall-clock budget in seconds for one whole round.  On expiry the
+        pool is terminated and :class:`RoundExecutionError` is raised
+        instead of hanging the simulation.
+    mp_context:
+        Optional multiprocessing start-method name (``"fork"``/``"spawn"``/
+        ``"forkserver"``); ``None`` uses the platform default.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        wire_dtype: Optional[str] = None,
+        round_timeout: Optional[float] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        resolved = num_workers or os.cpu_count() or 1
+        if resolved < 1:
+            raise ValueError("num_workers must be at least 1")
+        if round_timeout is not None and round_timeout <= 0:
+            raise ValueError("round_timeout must be positive")
+        self.num_workers = int(resolved)
+        self.wire_dtype = wire_dtype
+        self.round_timeout = round_timeout
+        self.mp_context = mp_context
+        self._clients: Dict[int, FLClient] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle -------------------------------------------------
+    def prepare(self, clients: Sequence[FLClient]) -> None:
+        fresh = {client.client_id: client for client in clients}
+        if len(fresh) != len(clients):
+            raise ValueError("client ids must be unique")
+        if fresh.keys() != self._clients.keys() or any(
+            fresh[cid] is not self._clients[cid] for cid in fresh
+        ):
+            self._terminate_pool()
+            self._clients = fresh
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            try:
+                payload = pickle.dumps(self._clients, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:
+                raise RoundExecutionError(
+                    "clients are not picklable and cannot be shipped to worker "
+                    "processes (closures in augment pipelines are a common "
+                    f"cause); use the sequential backend instead: {exc!r}"
+                ) from exc
+            context = None
+            if self.mp_context is not None:
+                import multiprocessing
+
+                context = multiprocessing.get_context(self.mp_context)
+            _log.info(
+                "starting %d worker processes (%d clients, %.1f MB payload)",
+                self.num_workers,
+                len(self._clients),
+                len(payload) / 1e6,
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.num_workers,
+                initializer=_worker_init,
+                initargs=(payload,),
+                mp_context=context,
+            )
+        return self._pool
+
+    def _terminate_pool(self) -> None:
+        if self._pool is None:
+            return
+        # A hung worker never finishes its task, so a graceful shutdown
+        # would block forever; kill the processes outright.
+        for process in getattr(self._pool, "_processes", {}).values():
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
+
+    def close(self) -> None:
+        self._terminate_pool()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self._terminate_pool()
+        except Exception:
+            pass
+
+    # -- round execution ------------------------------------------------
+    def _broadcast_payloads(
+        self, participants: Sequence[FLClient], server
+    ) -> Tuple[List[bytes], int]:
+        """Per-participant packed broadcasts, packing the shared state once.
+
+        Without a ``broadcast_hook`` every client receives the identical
+        global state, so it is packed a single time and the same read-only
+        buffer is handed to every worker task.  With a hook (malicious-server
+        experiments) each client's tampered state is packed individually.
+        """
+        if server.broadcast_hook is None:
+            shared = pack_state_dict(server.global_state(), self.wire_dtype)
+            return [shared] * len(participants), len(shared) * len(participants)
+        payloads = [
+            pack_state_dict(server.broadcast(client.client_id), self.wire_dtype)
+            for client in participants
+        ]
+        return payloads, sum(len(payload) for payload in payloads)
+
+    def execute(self, participants: Sequence[FLClient], server) -> RoundExecution:
+        if not self._clients:
+            self.prepare(participants)
+        unknown = [c.client_id for c in participants if c.client_id not in self._clients]
+        if unknown:
+            raise RoundExecutionError(
+                f"participants {unknown} were not registered via prepare(); "
+                "the worker pool only holds the population it was built with"
+            )
+        pool = self._ensure_pool()
+        payloads, bytes_broadcast = self._broadcast_payloads(participants, server)
+        futures = [
+            pool.submit(
+                _worker_run_client,
+                client.client_id,
+                client.get_mutable_state(),
+                payload,
+                self.wire_dtype,
+            )
+            for client, payload in zip(participants, payloads)
+        ]
+        deadline = None if self.round_timeout is None else monotonic() + self.round_timeout
+        results: List[ClientExecution] = []
+        bytes_aggregated = 0
+        for client, future in zip(participants, futures):
+            try:
+                if deadline is None:
+                    outcome = future.result()
+                else:
+                    outcome = future.result(timeout=max(deadline - monotonic(), 0.001))
+            except FutureTimeoutError:
+                self._terminate_pool()
+                raise RoundExecutionError(
+                    f"round timed out after {self.round_timeout:.1f}s waiting for "
+                    f"client {client.client_id}; worker pool terminated"
+                ) from None
+            except BrokenProcessPool as exc:
+                self._terminate_pool()
+                raise RoundExecutionError(
+                    f"worker process died while training client {client.client_id} "
+                    "(out-of-memory or hard crash); pool terminated"
+                ) from exc
+            except RoundExecutionError:
+                raise
+            except Exception as exc:
+                self._terminate_pool()
+                raise RoundExecutionError(
+                    f"client {client.client_id} failed in worker: {exc!r}"
+                ) from exc
+            bytes_aggregated += len(outcome.update_payload)
+            # The returned mutable state makes the coordinator's client
+            # object indistinguishable from one that trained in-process.
+            client.set_mutable_state(outcome.mutable_state)
+            update = ClientUpdate(
+                client_id=outcome.client_id,
+                state=unpack_state_dict(outcome.update_payload),
+                num_samples=outcome.num_samples,
+                train_loss=outcome.train_loss,
+            )
+            results.append(
+                ClientExecution(update=update, compute_seconds=outcome.compute_seconds)
+            )
+        return RoundExecution(
+            results=results,
+            bytes_broadcast=bytes_broadcast,
+            bytes_aggregated=bytes_aggregated,
+        )
+
+
+def make_executor(
+    backend: str = "sequential",
+    num_workers: Optional[int] = None,
+    wire_dtype: Optional[str] = None,
+    round_timeout: Optional[float] = None,
+) -> RoundExecutor:
+    """Build a round executor from plain configuration values."""
+    if backend == "sequential":
+        return SequentialExecutor()
+    if backend == "process":
+        return ParallelExecutor(
+            num_workers=num_workers,
+            wire_dtype=wire_dtype,
+            round_timeout=round_timeout,
+        )
+    raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

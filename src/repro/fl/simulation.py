@@ -22,11 +22,13 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.executor import RoundExecutor, SequentialExecutor
 from repro.fl.server import FLServer
 from repro.fl.training import evaluate_model
 from repro.nn.optim import StepDecaySchedule
 from repro.nn.serialization import clone_state_dict
 from repro.utils.logging import get_logger
+from repro.utils.timer import Stopwatch
 
 StateDict = Dict[str, np.ndarray]
 _log = get_logger("fl.simulation")
@@ -43,12 +45,38 @@ class RoundSnapshot:
 
 
 @dataclass
+class RoundMetrics:
+    """Execution-engine telemetry for one round (Table XI / RQ5).
+
+    ``wall_clock_seconds`` is the coordinator-observed duration of the full
+    round (broadcast + local training + aggregation); ``client_compute_
+    seconds`` is each participant's own local-training time, measured where
+    it ran (so with the process backend their sum can exceed the wall
+    clock — that excess is the parallel speedup).  Byte counts follow the
+    FedAvg wire model: every participant downloads the global state and
+    uploads its update.
+    """
+
+    round_index: int
+    backend: str
+    wall_clock_seconds: float
+    client_compute_seconds: Dict[int, float]
+    bytes_broadcast: int
+    bytes_aggregated: int
+
+    @property
+    def total_compute_seconds(self) -> float:
+        return float(sum(self.client_compute_seconds.values()))
+
+
+@dataclass
 class FLHistory:
     """Record of a federated run."""
 
     train_losses: List[Dict[int, float]] = field(default_factory=list)
     test_accuracy: List[float] = field(default_factory=list)
     snapshots: List[RoundSnapshot] = field(default_factory=list)
+    round_metrics: List[RoundMetrics] = field(default_factory=list)
 
     @property
     def rounds(self) -> int:
@@ -70,6 +98,14 @@ class FLHistory:
     def final_test_accuracy(self) -> float:
         return self.test_accuracy[-1] if self.test_accuracy else float("nan")
 
+    def mean_round_seconds(self) -> float:
+        """Mean wall-clock seconds per round (NaN before any round ran)."""
+        if not self.round_metrics:
+            return float("nan")
+        return float(
+            np.mean([metrics.wall_clock_seconds for metrics in self.round_metrics])
+        )
+
 
 class FederatedSimulation:
     """Synchronous FedAvg simulation over a fixed client population."""
@@ -84,11 +120,18 @@ class FederatedSimulation:
         lr_schedule: Optional[StepDecaySchedule] = None,
         clients_per_round: Optional[int] = None,
         sampling_seed: Optional[int] = None,
+        executor: Optional[RoundExecutor] = None,
     ) -> None:
         """``clients_per_round`` enables partial participation: each round a
         uniform random subset of that size trains; the rest sit out (the
         cross-device FedAvg setting).  ``None`` means full participation
-        (the paper's cross-silo setting)."""
+        (the paper's cross-silo setting).
+
+        ``executor`` selects the round-execution engine (see
+        :mod:`repro.fl.executor`); the default trains clients sequentially
+        in-process.  Pooled executors hold worker processes — call
+        :meth:`close` (or use the simulation as a context manager) when
+        done."""
         if not clients:
             raise ValueError("simulation needs at least one client")
         if clients_per_round is not None and not 1 <= clients_per_round <= len(clients):
@@ -101,7 +144,19 @@ class FederatedSimulation:
         self.lr_schedule = lr_schedule
         self.clients_per_round = clients_per_round
         self._sampling_rng = np.random.default_rng(sampling_seed)
+        self.executor = executor if executor is not None else SequentialExecutor()
+        self.executor.prepare(self.clients)
         self.history = FLHistory()
+
+    def close(self) -> None:
+        """Release the executor's pooled resources (no-op when sequential)."""
+        self.executor.close()
+
+    def __enter__(self) -> "FederatedSimulation":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def _select_participants(self) -> List[FLClient]:
         if self.clients_per_round is None:
@@ -123,15 +178,26 @@ class FederatedSimulation:
         record = round_index in self.snapshot_rounds
         before = self.server.global_state() if record else None
 
-        updates: List[ClientUpdate] = []
-        round_losses: Dict[int, float] = {}
-        for client in self._select_participants():
-            client.receive_global(self.server.broadcast(client.client_id))
-            update = client.local_update()
-            updates.append(update)
-            round_losses[client.client_id] = update.train_loss
-        after = self.server.aggregate(updates)
+        participants = self._select_participants()
+        with Stopwatch() as round_watch:
+            execution = self.executor.execute(participants, self.server)
+            updates = execution.updates
+            after = self.server.aggregate(updates)
+        round_losses = {u.client_id: u.train_loss for u in updates}
         self.history.train_losses.append(round_losses)
+        self.history.round_metrics.append(
+            RoundMetrics(
+                round_index=round_index,
+                backend=self.executor.name,
+                wall_clock_seconds=round_watch.elapsed,
+                client_compute_seconds={
+                    result.update.client_id: result.compute_seconds
+                    for result in execution.results
+                },
+                bytes_broadcast=execution.bytes_broadcast,
+                bytes_aggregated=execution.bytes_aggregated,
+            )
+        )
 
         if record:
             assert before is not None
@@ -172,8 +238,11 @@ class FederatedSimulation:
         blend the evaluation inputs with their private perturbation, so this
         is the per-client accuracy the paper reports.
         """
+        # One global-state fetch serves every client: receive_global copies
+        # the arrays into the model, so sharing the dict is safe.
+        state = self.server.global_state()
         accuracies = []
         for client in self.clients:
-            client.receive_global(self.server.global_state())
+            client.receive_global(state)
             accuracies.append(client.evaluate(dataset).accuracy)
         return accuracies

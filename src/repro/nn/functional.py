@@ -153,12 +153,14 @@ def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
     out_data = np.take_along_axis(windows, arg[..., None], axis=-1)[..., 0]
 
     def backward(grad: np.ndarray) -> None:
+        # Allocate in the input's dtype so a float32 compute path is not
+        # silently upcast to float64 by its pooling gradients.
         grad_windows = np.zeros(
-            (batch, channels, out_h, out_w, kernel * kernel), dtype=np.float64
+            (batch, channels, out_h, out_w, kernel * kernel), dtype=x.data.dtype
         )
         np.put_along_axis(grad_windows, arg[..., None], grad[..., None], axis=-1)
         grad_windows = grad_windows.reshape(batch, channels, out_h, out_w, kernel, kernel)
-        full = np.zeros(x.shape, dtype=np.float64)
+        full = np.zeros(x.shape, dtype=x.data.dtype)
         for kh in range(kernel):
             for kw in range(kernel):
                 full[:, :, kh : kh + stride * out_h : stride, kw : kw + stride * out_w : stride] += grad_windows[
@@ -193,7 +195,7 @@ def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
     scale = 1.0 / (kernel * kernel)
 
     def backward(grad: np.ndarray) -> None:
-        full = np.zeros(x.shape, dtype=np.float64)
+        full = np.zeros(x.shape, dtype=x.data.dtype)
         scaled = grad * scale
         for kh in range(kernel):
             for kw in range(kernel):
@@ -254,7 +256,8 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = T
     if not 0.0 <= rate < 1.0:
         raise ValueError("dropout rate must be in [0, 1)")
     keep = 1.0 - rate
-    mask = (rng.random(x.shape) < keep) / keep
+    # Mask in the input's dtype: a float64 mask would upcast float32 data.
+    mask = ((rng.random(x.shape) < keep) / keep).astype(x.data.dtype, copy=False)
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * mask)

@@ -42,6 +42,38 @@ class Optimizer:
             raise ValueError("learning rate must be positive")
         self.lr = lr
 
+    # -- state (de)serialization ---------------------------------------
+    # Internal per-parameter slots (momentum/Adam moments) are keyed by
+    # ``id(param)``, which is process-local: ids do not survive pickling.
+    # The state dict keys slots by *parameter index* instead, so optimizer
+    # state can cross process boundaries (FL parallel executor) or be
+    # checkpointed, then restored bit-for-bit onto an equivalent parameter
+    # list.
+    def state_dict(self) -> Dict[str, object]:
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.set_lr(float(state["lr"]))
+
+    def _slots_by_index(self, slots: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        """Re-key an ``id(param)``-indexed slot dict by parameter position."""
+        out: Dict[int, np.ndarray] = {}
+        for index, param in enumerate(self.params):
+            value = slots.get(id(param))
+            if value is not None:
+                out[index] = value.copy()
+        return out
+
+    def _slots_by_id(self, indexed: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        """Inverse of :meth:`_slots_by_index`."""
+        out: Dict[int, np.ndarray] = {}
+        for index, value in indexed.items():
+            index = int(index)
+            if not 0 <= index < len(self.params):
+                raise ValueError(f"optimizer state refers to unknown parameter {index}")
+            out[id(self.params[index])] = np.array(value, copy=True)
+        return out
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -76,6 +108,15 @@ class SGD(Optimizer):
                 param.data = param.data + velocity
             else:
                 param.data = param.data - self.lr * grad
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["velocity"] = self._slots_by_index(self._velocity)
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._velocity = self._slots_by_id(state.get("velocity", {}))
 
 
 class Adam(Optimizer):
@@ -119,6 +160,19 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["m"] = self._slots_by_index(self._m)
+        state["v"] = self._slots_by_index(self._v)
+        state["step_count"] = self._step_count
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._m = self._slots_by_id(state.get("m", {}))
+        self._v = self._slots_by_id(state.get("v", {}))
+        self._step_count = int(state.get("step_count", 0))
 
 
 class StepDecaySchedule:

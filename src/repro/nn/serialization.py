@@ -1,16 +1,27 @@
-"""Model state persistence.
+"""Model state persistence and wire serialization.
 
 State dicts are flat ``{dotted.name: ndarray}`` mappings (see
 :meth:`repro.nn.layers.Module.state_dict`); this module saves/loads them with
 ``numpy.savez`` so checkpoints are portable and dependency-free.
+
+:func:`pack_state_dict` / :func:`unpack_state_dict` serialize a state dict to
+a single ``bytes`` payload for inter-process transfer: the FL parallel
+executor packs the global state **once per round** and hands every worker the
+same read-only buffer instead of cloning the state dict per client.  Packing
+optionally down-casts floating arrays to ``float32`` — halving wire size at
+the cost of bitwise reproducibility against the uncompressed path.
 """
 
 from __future__ import annotations
 
+import io
 import os
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
+
+#: dtypes accepted for wire compression (``None`` means "preserve dtype").
+WIRE_DTYPES = ("float32", "float64")
 
 
 def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
@@ -29,6 +40,42 @@ def load_state_dict(path: str) -> Dict[str, np.ndarray]:
 def clone_state_dict(state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
     """Deep-copy a state dict (FL clients clone the global model each round)."""
     return {name: np.array(value, copy=True) for name, value in state.items()}
+
+
+def state_dict_nbytes(state: Dict[str, np.ndarray]) -> int:
+    """Payload size of a state dict in bytes (arrays only, no framing)."""
+    return int(sum(value.nbytes for value in state.values()))
+
+
+def _cast_for_wire(value: np.ndarray, wire_dtype: Optional[str]) -> np.ndarray:
+    if wire_dtype is None or not np.issubdtype(value.dtype, np.floating):
+        return value
+    return value.astype(wire_dtype, copy=False)
+
+
+def pack_state_dict(
+    state: Dict[str, np.ndarray], wire_dtype: Optional[str] = None
+) -> bytes:
+    """Serialize a state dict into one contiguous ``bytes`` payload.
+
+    ``wire_dtype`` down-casts floating arrays (e.g. to ``"float32"``) before
+    packing; integer arrays are never cast.  The payload is self-describing:
+    :func:`unpack_state_dict` recovers names, shapes, and (wire) dtypes.
+    """
+    if wire_dtype is not None and wire_dtype not in WIRE_DTYPES:
+        raise ValueError(f"wire_dtype must be one of {WIRE_DTYPES} or None")
+    buffer = io.BytesIO()
+    np.savez(
+        buffer,
+        **{name: _cast_for_wire(value, wire_dtype) for name, value in state.items()},
+    )
+    return buffer.getvalue()
+
+
+def unpack_state_dict(payload: bytes) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`pack_state_dict` (arrays keep their wire dtype)."""
+    with np.load(io.BytesIO(payload)) as archive:
+        return {name: archive[name] for name in archive.files}
 
 
 def state_dicts_allclose(

@@ -107,6 +107,25 @@ class Tensor:
         """Return the underlying array (no copy); detached from the graph."""
         return self.data
 
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        # The autograd graph (backward closures, parent links) is process-
+        # local and generally unpicklable; a tensor always crosses process
+        # boundaries as a leaf.  The FL parallel executor relies on this to
+        # ship whole models to worker processes.
+        return (self.data, self.grad, self.requires_grad)
+
+    def __setstate__(self, state) -> None:
+        data, grad, requires_grad = state
+        self.data = data
+        self.grad = grad
+        self.requires_grad = requires_grad
+        self._backward = None
+        self._parents = ()
+        self._op = ""
+
     def item(self) -> float:
         return float(self.data)
 
