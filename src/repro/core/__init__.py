@@ -11,7 +11,12 @@ Public surface:
 """
 
 from repro.core.blending import blend, blend_arrays, invert_blend
-from repro.core.config import CIPConfig, ExecutionConfig
+from repro.core.config import (
+    CheckpointConfig,
+    CIPConfig,
+    ExecutionConfig,
+    FaultConfig,
+)
 from repro.core.perturbation import Perturbation, optimize_perturbation_for_model
 from repro.core.trainer import (
     CIPTrainer,
@@ -33,6 +38,8 @@ from repro.core.theory import (
 __all__ = [
     "CIPConfig",
     "ExecutionConfig",
+    "FaultConfig",
+    "CheckpointConfig",
     "blend",
     "blend_arrays",
     "invert_blend",

@@ -30,12 +30,41 @@ class ExecutionConfig:
     round_timeout:
         Optional wall-clock budget (seconds) for one round on the
         ``process`` backend; expiry raises instead of hanging.
+    client_timeout:
+        Optional per-client wall-clock budget (seconds).  On the process
+        backend a client that exceeds it is treated as a straggler and
+        dropped (or retried); the sequential backend cannot preempt a
+        running client, so there it only cuts short *injected* straggler
+        delays (see :class:`FaultConfig`).
+    max_retries:
+        Bounded retry budget per client per round for transient failures.
+        ``0`` (default) preserves the historical fail-fast behaviour.
+    retry_backoff_seconds / retry_backoff_factor / retry_backoff_max_seconds:
+        Exponential-backoff schedule between retry attempts: attempt ``k``
+        sleeps ``min(base * factor**k, max)`` seconds before re-running.
+    min_participation:
+        Fraction of the round's selected participants that must deliver an
+        update for the round to aggregate; survivors are FedAvg-combined
+        (re-weighted by ``num_samples``) and dropped clients are recorded in
+        the history.  ``1.0`` (default) aborts the round on any drop,
+        matching the paper's all-participants protocol.
+    max_pool_respawns:
+        How many times per round the process backend may respawn a worker
+        pool that died (e.g. a worker was OOM-killed) before giving up.
+        Only the clients whose results were lost with the pool re-run.
     """
 
     backend: str = "sequential"
     num_workers: Optional[int] = None
     wire_dtype: Optional[str] = None
     round_timeout: Optional[float] = None
+    client_timeout: Optional[float] = None
+    max_retries: int = 0
+    retry_backoff_seconds: float = 0.05
+    retry_backoff_factor: float = 2.0
+    retry_backoff_max_seconds: float = 5.0
+    min_participation: float = 1.0
+    max_pool_respawns: int = 2
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
@@ -46,6 +75,111 @@ class ExecutionConfig:
             raise ValueError("wire_dtype must be None, 'float32' or 'float64'")
         if self.round_timeout is not None and self.round_timeout <= 0:
             raise ValueError("round_timeout must be positive")
+        if self.client_timeout is not None and self.client_timeout <= 0:
+            raise ValueError("client_timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff_seconds < 0 or self.retry_backoff_max_seconds < 0:
+            raise ValueError("retry backoff delays must be non-negative")
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError("retry_backoff_factor must be >= 1")
+        if not 0.0 < self.min_participation <= 1.0:
+            raise ValueError("min_participation must be in (0, 1]")
+        if self.max_pool_respawns < 0:
+            raise ValueError("max_pool_respawns must be non-negative")
+
+
+@dataclass
+class FaultConfig:
+    """Deterministic client-fault injection (see :mod:`repro.fl.faults`).
+
+    Each rate is the per-(round, client, attempt) probability of that fault;
+    a single uniform draw per attempt makes the faults mutually exclusive,
+    so the rates must sum to at most 1.  Decisions are derived statelessly
+    from ``(seed, round, client, attempt)``, so the same config produces the
+    same fault schedule on every backend and on resumed runs.
+
+    Attributes
+    ----------
+    crash_rate:
+        Probability a client fails permanently for the round (no retry).
+    transient_rate:
+        Probability of a retriable failure (succeeds on a later attempt if
+        the retry budget allows).
+    straggler_rate / straggler_delay_seconds:
+        Probability a client stalls for ``straggler_delay_seconds`` before
+        training.  Combined with ``client_timeout`` this exercises the
+        drop-slow-clients path.
+    worker_death_rate:
+        Probability the worker *process* hosting the client dies mid-round
+        (``os._exit``).  On the sequential backend this degrades to a crash
+        (killing the only process would kill the simulation itself).
+    seed:
+        Root seed of the fault stream.
+    """
+
+    crash_rate: float = 0.0
+    transient_rate: float = 0.0
+    straggler_rate: float = 0.0
+    straggler_delay_seconds: float = 0.0
+    worker_death_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.crash_rate,
+            self.transient_rate,
+            self.straggler_rate,
+            self.worker_death_rate,
+        )
+        for rate in rates:
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("fault rates must be in [0, 1]")
+        if sum(rates) > 1.0 + 1e-12:
+            raise ValueError("fault rates must sum to at most 1")
+        if self.straggler_delay_seconds < 0:
+            raise ValueError("straggler_delay_seconds must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            rate > 0.0
+            for rate in (
+                self.crash_rate,
+                self.transient_rate,
+                self.straggler_rate,
+                self.worker_death_rate,
+            )
+        )
+
+
+@dataclass
+class CheckpointConfig:
+    """Periodic simulation checkpointing (see :mod:`repro.fl.checkpoint`).
+
+    Attributes
+    ----------
+    directory:
+        Where checkpoint files land; ``None`` disables checkpointing.
+    every:
+        Checkpoint cadence in completed rounds; ``0`` disables.
+    keep:
+        Retain only the newest ``keep`` checkpoints (``0`` keeps all).
+    """
+
+    directory: Optional[str] = None
+    every: int = 0
+    keep: int = 3
+
+    def __post_init__(self) -> None:
+        if self.every < 0:
+            raise ValueError("every must be non-negative")
+        if self.keep < 0:
+            raise ValueError("keep must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.directory is not None and self.every > 0
 
 
 @dataclass

@@ -64,7 +64,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="compress broadcast/update payloads to this dtype "
         "(float32 halves traffic but breaks bitwise reproducibility)",
     )
+    fault = parser.add_argument_group(
+        "fault tolerance",
+        "graceful degradation of federated rounds (defaults preserve the "
+        "paper's fail-fast all-participants protocol)",
+    )
+    fault.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a transiently-failing client up to N times per round "
+        "with exponential backoff (default: 0, fail fast)",
+    )
+    fault.add_argument(
+        "--client-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-client straggler budget; slower clients are dropped from "
+        "the round (process backend)",
+    )
+    fault.add_argument(
+        "--min-participation",
+        type=float,
+        default=1.0,
+        metavar="FRACTION",
+        help="fraction of the round's clients that must survive for the "
+        "round to aggregate over the survivors (default: 1.0 = abort on "
+        "any drop)",
+    )
+    fault.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="CRASH,TRANSIENT,STRAGGLER,DELAY",
+        help="deterministic fault injection for robustness drills: "
+        "crash/transient/straggler rates in [0,1] plus the straggler delay "
+        "in seconds (e.g. 0.05,0.1,0.1,2.0)",
+    )
+    fault.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="root seed of the injected fault schedule (default: 0)",
+    )
     return parser
+
+
+def parse_fault_config(spec, seed):
+    """Parse the --inject-faults CRASH,TRANSIENT,STRAGGLER,DELAY spec."""
+    if spec is None:
+        return None
+    from repro.core.config import FaultConfig
+
+    parts = [float(part) for part in spec.split(",")]
+    if len(parts) != 4:
+        raise SystemExit(
+            "--inject-faults expects four comma-separated values: "
+            "crash,transient,straggler rates and the straggler delay"
+        )
+    crash, transient, straggler, delay = parts
+    return FaultConfig(
+        crash_rate=crash,
+        transient_rate=transient,
+        straggler_rate=straggler,
+        straggler_delay_seconds=delay,
+        seed=seed,
+    )
 
 
 def main(argv=None) -> int:
@@ -80,7 +147,11 @@ def main(argv=None) -> int:
             backend=args.backend,
             num_workers=args.num_workers,
             wire_dtype=args.wire_dtype,
-        )
+            client_timeout=args.client_timeout,
+            max_retries=args.max_retries,
+            min_participation=args.min_participation,
+        ),
+        faults=parse_fault_config(args.inject_faults, args.fault_seed),
     )
 
     if args.list:

@@ -15,7 +15,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.attacks.base import AttackData, CIPTarget, PlainTarget
-from repro.core.config import CIPConfig, ExecutionConfig
+from repro.core.config import CIPConfig, ExecutionConfig, FaultConfig
 from repro.core.perturbation import Perturbation
 from repro.core.trainer import CIPTrainer
 from repro.data.benchmarks import (
@@ -27,6 +27,7 @@ from repro.data.benchmarks import (
 )
 from repro.experiments.profiles import Profile
 from repro.fl.executor import RoundExecutor, make_executor
+from repro.fl.faults import RetryBackoff
 from repro.fl.simulation import FederatedSimulation
 from repro.fl.training import train_supervised
 from repro.nn.layers import Module
@@ -42,16 +43,22 @@ _LEGACY_CACHE: Dict[tuple, "LegacyArtifact"] = {}
 _CIP_CACHE: Dict[tuple, "CIPArtifact"] = {}
 
 _EXECUTION_CONFIG = ExecutionConfig()
+_FAULT_CONFIG: Optional[FaultConfig] = None
 
 
-def set_execution_config(config: ExecutionConfig) -> None:
+def set_execution_config(
+    config: ExecutionConfig, faults: Optional[FaultConfig] = None
+) -> None:
     """Select the round-execution engine for all federated experiments.
 
-    The experiment CLI threads ``--backend``/``--num-workers`` through here;
-    every simulation built by :func:`run_federated` then uses it.
+    The experiment CLI threads ``--backend``/``--num-workers`` (and the
+    fault-tolerance knobs) through here; every simulation built by
+    :func:`run_federated` then uses it.  ``faults`` optionally enables
+    deterministic fault injection for robustness drills.
     """
-    global _EXECUTION_CONFIG
+    global _EXECUTION_CONFIG, _FAULT_CONFIG
     _EXECUTION_CONFIG = config
+    _FAULT_CONFIG = faults
 
 
 def get_execution_config() -> ExecutionConfig:
@@ -70,6 +77,16 @@ def build_executor() -> RoundExecutor:
         num_workers=config.num_workers,
         wire_dtype=config.wire_dtype,
         round_timeout=config.round_timeout,
+        client_timeout=config.client_timeout,
+        max_retries=config.max_retries,
+        backoff=RetryBackoff(
+            base_seconds=config.retry_backoff_seconds,
+            factor=config.retry_backoff_factor,
+            max_seconds=config.retry_backoff_max_seconds,
+        ),
+        min_participation=config.min_participation,
+        max_pool_respawns=config.max_pool_respawns,
+        fault_config=_FAULT_CONFIG,
     )
 
 

@@ -1,6 +1,7 @@
 """Federated-learning simulation substrate (FedAvg, per McMahan/Nasr)."""
 
 from repro.fl.aggregation import apply_delta, fedavg, flatten_state, state_delta
+from repro.fl.checkpoint import latest_checkpoint, list_checkpoints
 from repro.fl.client import ClientConfig, ClientUpdate, FLClient
 from repro.fl.executor import (
     ParallelExecutor,
@@ -8,6 +9,14 @@ from repro.fl.executor import (
     RoundExecutor,
     SequentialExecutor,
     make_executor,
+)
+from repro.fl.faults import (
+    ClientFailure,
+    FaultDecision,
+    FaultInjector,
+    InjectedClientCrash,
+    InjectedTransientError,
+    RetryBackoff,
 )
 from repro.fl.server import FLServer
 from repro.fl.simulation import (
@@ -54,6 +63,14 @@ __all__ = [
     "SequentialExecutor",
     "ParallelExecutor",
     "make_executor",
+    "FaultInjector",
+    "FaultDecision",
+    "ClientFailure",
+    "InjectedClientCrash",
+    "InjectedTransientError",
+    "RetryBackoff",
+    "latest_checkpoint",
+    "list_checkpoints",
     "LocalTrainingResult",
     "remap_to_local_classes",
     "run_local_training",

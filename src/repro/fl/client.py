@@ -9,6 +9,7 @@ training objective.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
@@ -67,6 +68,18 @@ class ClientMutableState:
     seed_rng: Optional[np.random.Generator] = None
     augment_rng: Optional[np.random.Generator] = None
     extra: Dict[str, object] = field(default_factory=dict)
+
+    def clone(self) -> "ClientMutableState":
+        """A fully independent deep copy of this snapshot.
+
+        :meth:`FLClient.get_mutable_state` clones the array state but keeps
+        *live references* to the client's RNG generators (the cheap choice
+        for the ship-to-worker path, where pickling isolates them anyway).
+        In-process consumers that hold a snapshot across further training —
+        the sequential executor's retry rollback, the checkpoint writer —
+        must clone it so the client's continued draws cannot mutate it.
+        """
+        return copy.deepcopy(self)
 
 
 class FLClient:

@@ -16,6 +16,26 @@ module extracts that stage behind :class:`RoundExecutor`:
   round is bit-for-bit identical to a sequential one (each client owns its
   seeded RNG; no draw order is shared across clients).
 
+Both engines share a fault-tolerance policy (off by default, preserving the
+historical fail-fast behaviour):
+
+* **bounded retry with exponential backoff** — transient failures re-run the
+  client up to ``max_retries`` times; every attempt starts from the client's
+  pre-round state, so a retried round is bit-identical to an untroubled one;
+* **per-client timeouts** — stragglers past ``client_timeout`` are dropped
+  (process backend; in-process the budget only cuts short injected delays);
+* **partial aggregation** — with ``min_participation < 1`` the round
+  completes over the survivors (FedAvg re-weights by ``num_samples``) and
+  the dropped clients land in :class:`RoundExecution.failures` instead of
+  aborting the simulation;
+* **pool respawn** — a worker-process death (OOM kill, segfault, injected
+  ``worker_death``) terminates the pool; the executor respawns it up to
+  ``max_pool_respawns`` times per round and re-runs *only* the clients whose
+  results were lost.
+
+Failure paths are testable on demand via a seeded
+:class:`~repro.fl.faults.FaultInjector`.
+
 Determinism caveat: the optional ``wire_dtype="float32"`` knob halves the
 broadcast/update payloads but rounds the wire copies, trading bitwise
 equality with the sequential path for bandwidth.  Leave it ``None`` (the
@@ -24,19 +44,33 @@ default) when reproducing paper numbers.
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import monotonic
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.config import FaultConfig
 from repro.fl.client import ClientMutableState, ClientUpdate, FLClient
+from repro.fl.faults import (
+    NO_FAULT,
+    ClientFailure,
+    FaultDecision,
+    FaultInjector,
+    InjectedClientCrash,
+    InjectedTransientError,
+    RetryBackoff,
+    StragglerTimeout,
+    enact_fault,
+)
 from repro.nn.serialization import (
     pack_state_dict,
     state_dict_nbytes,
@@ -52,7 +86,9 @@ BACKENDS = ("sequential", "process")
 
 
 class RoundExecutionError(RuntimeError):
-    """A client failed, timed out, or its worker died during a round."""
+    """A round could not complete: a client failed fatally, too few clients
+    survived the ``min_participation`` policy, the round timed out, or the
+    worker pool died beyond the respawn budget."""
 
 
 @dataclass
@@ -65,11 +101,18 @@ class ClientExecution:
 
 @dataclass
 class RoundExecution:
-    """All client results of one round plus wire-traffic accounting."""
+    """All client results of one round plus wire-traffic accounting.
+
+    ``failures`` lists clients dropped from the round after exhausting
+    their retry budget (empty on an untroubled round); ``retries`` maps
+    surviving client ids to the number of extra attempts they needed.
+    """
 
     results: List[ClientExecution]
     bytes_broadcast: int
     bytes_aggregated: int
+    failures: List[ClientFailure] = field(default_factory=list)
+    retries: Dict[int, int] = field(default_factory=dict)
 
     @property
     def updates(self) -> List[ClientUpdate]:
@@ -77,9 +120,86 @@ class RoundExecution:
 
 
 class RoundExecutor(ABC):
-    """Strategy for running the local-training stage of a FedAvg round."""
+    """Strategy for running the local-training stage of a FedAvg round.
+
+    Subclasses call :meth:`_configure_fault_tolerance` from their
+    constructor; the shared policy helpers (:meth:`_decide`,
+    :meth:`_check_participation`) then behave identically across engines.
+    """
 
     name = "abstract"
+
+    # Policy defaults (fail-fast) for subclasses that never configure.
+    fault_injector: Optional[FaultInjector] = None
+    max_retries: int = 0
+    backoff: RetryBackoff = RetryBackoff()
+    client_timeout: Optional[float] = None
+    min_participation: float = 1.0
+
+    def _configure_fault_tolerance(
+        self,
+        fault_injector: Optional[FaultInjector],
+        max_retries: int,
+        backoff: Optional[RetryBackoff],
+        client_timeout: Optional[float],
+        min_participation: float,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if client_timeout is not None and client_timeout <= 0:
+            raise ValueError("client_timeout must be positive")
+        if not 0.0 < min_participation <= 1.0:
+            raise ValueError("min_participation must be in (0, 1]")
+        self.fault_injector = fault_injector
+        self.max_retries = int(max_retries)
+        self.backoff = backoff or RetryBackoff()
+        self.client_timeout = client_timeout
+        self.min_participation = float(min_participation)
+
+    @property
+    def _tolerant(self) -> bool:
+        """Whether any graceful-degradation path is enabled.
+
+        When false the executor keeps the historical contract: the first
+        client failure raises :class:`RoundExecutionError` immediately.
+        """
+        return (
+            self.fault_injector is not None
+            or self.max_retries > 0
+            or self.min_participation < 1.0
+            or self.client_timeout is not None
+        )
+
+    def _decide(self, round_index: int, client_id: int, attempt: int) -> FaultDecision:
+        if self.fault_injector is None:
+            return NO_FAULT
+        return self.fault_injector.decide(round_index, client_id, attempt)
+
+    def _required_survivors(self, participants: int) -> int:
+        return max(1, math.ceil(self.min_participation * participants))
+
+    def _check_participation(
+        self, participants: int, survived: int, failures: Sequence[ClientFailure]
+    ) -> None:
+        required = self._required_survivors(participants)
+        if survived >= required:
+            if failures:
+                _log.warning(
+                    "round degraded: %d/%d clients dropped (%s)",
+                    len(failures),
+                    participants,
+                    ", ".join(f"client {f.client_id}: {f.kind}" for f in failures),
+                )
+            return
+        detail = "; ".join(
+            f"client {f.client_id}: {f.kind} after {f.attempts} attempt(s): {f.message}"
+            for f in failures
+        )
+        raise RoundExecutionError(
+            f"only {survived}/{participants} clients survived the round but "
+            f"min_participation={self.min_participation:g} requires {required}: "
+            f"{detail}"
+        )
 
     def prepare(self, clients: Sequence[FLClient]) -> None:
         """Register the full client population before the first round.
@@ -93,8 +213,9 @@ class RoundExecutor(ABC):
     def execute(self, participants: Sequence[FLClient], server) -> RoundExecution:
         """Run ``local_update`` for every participant, in participant order.
 
-        On return the participant objects reflect their post-round state,
-        exactly as if they had trained in-process.
+        On return the surviving participant objects reflect their post-round
+        state, exactly as if they had trained in-process; dropped clients
+        keep their pre-round state.
         """
 
     def close(self) -> None:
@@ -108,31 +229,116 @@ class RoundExecutor(ABC):
 
 
 class SequentialExecutor(RoundExecutor):
-    """The classic single-process path: clients train one after another."""
+    """The classic single-process path: clients train one after another.
+
+    With fault tolerance enabled, each attempt snapshots the client's
+    mutable state first and rolls it back on failure, so retries (and
+    drops) leave no trace of partially-trained rounds.  ``worker_death``
+    injections degrade to crashes — there is no worker process to kill.
+    ``client_timeout`` cannot preempt a genuinely slow in-process client;
+    it only short-circuits *injected* straggler delays.
+    """
 
     name = "sequential"
 
+    def __init__(
+        self,
+        fault_injector: Optional[FaultInjector] = None,
+        max_retries: int = 0,
+        backoff: Optional[RetryBackoff] = None,
+        client_timeout: Optional[float] = None,
+        min_participation: float = 1.0,
+    ) -> None:
+        self._configure_fault_tolerance(
+            fault_injector, max_retries, backoff, client_timeout, min_participation
+        )
+
     def execute(self, participants: Sequence[FLClient], server) -> RoundExecution:
+        round_index = server.round
+        tolerant = self._tolerant
         results: List[ClientExecution] = []
+        failures: List[ClientFailure] = []
+        retries: Dict[int, int] = {}
         bytes_broadcast = 0
         bytes_aggregated = 0
         for client in participants:
-            state = server.broadcast(client.client_id)
-            bytes_broadcast += state_dict_nbytes(state)
-            client.receive_global(state)
-            try:
-                with Stopwatch() as watch:
-                    update = client.local_update()
-            except Exception as exc:
-                raise RoundExecutionError(
-                    f"client {client.client_id} failed during local_update: {exc!r}"
-                ) from exc
-            bytes_aggregated += state_dict_nbytes(update.state)
-            results.append(ClientExecution(update=update, compute_seconds=watch.elapsed))
+            # Snapshot for rollback: a failed attempt may have advanced the
+            # model, optimizer, or RNG state mid-training; deep-copying the
+            # snapshot keeps it immune to that mutation.
+            snapshot = client.get_mutable_state().clone() if tolerant else None
+            attempt = 0
+            while True:
+                decision = self._decide(round_index, client.client_id, attempt)
+                failure_kind = ""
+                retriable = False
+                error = ""
+                try:
+                    if decision.kind == "straggler" and (
+                        self.client_timeout is not None
+                        and decision.delay_seconds > self.client_timeout
+                    ):
+                        # Simulate the timeout instead of sleeping it out.
+                        raise StragglerTimeout(
+                            f"injected {decision.delay_seconds:.1f}s delay exceeds "
+                            f"client_timeout={self.client_timeout:.1f}s"
+                        )
+                    enact_fault(decision, in_worker=False)
+                    state = server.broadcast(client.client_id)
+                    bytes_broadcast += state_dict_nbytes(state)
+                    client.receive_global(state)
+                    with Stopwatch() as watch:
+                        update = client.local_update()
+                except InjectedClientCrash as exc:
+                    kind = "worker_death" if decision.kind == "worker_death" else "crash"
+                    failure_kind, retriable, error = kind, False, repr(exc)
+                except StragglerTimeout as exc:
+                    failure_kind, retriable, error = "straggler", True, str(exc)
+                except InjectedTransientError as exc:
+                    failure_kind, retriable, error = "transient", True, repr(exc)
+                except Exception as exc:
+                    failure_kind, retriable, error = "error", True, repr(exc)
+                else:
+                    bytes_aggregated += state_dict_nbytes(update.state)
+                    results.append(
+                        ClientExecution(update=update, compute_seconds=watch.elapsed)
+                    )
+                    if attempt:
+                        retries[client.client_id] = attempt
+                    break
+                if snapshot is None:
+                    raise RoundExecutionError(
+                        f"client {client.client_id} failed during local_update: {error}"
+                    )
+                client.set_mutable_state(snapshot.clone())
+                if retriable and attempt < self.max_retries:
+                    delay = self.backoff.delay(attempt)
+                    _log.info(
+                        "client %d attempt %d failed (%s); retrying in %.2fs",
+                        client.client_id,
+                        attempt + 1,
+                        failure_kind,
+                        delay,
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                failures.append(
+                    ClientFailure(
+                        client_id=client.client_id,
+                        kind=failure_kind,
+                        attempts=attempt + 1,
+                        message=error,
+                    )
+                )
+                break
+        self._check_participation(len(participants), len(results), failures)
         return RoundExecution(
             results=results,
             bytes_broadcast=bytes_broadcast,
             bytes_aggregated=bytes_aggregated,
+            failures=failures,
+            retries=retries,
         )
 
 
@@ -165,12 +371,17 @@ def _worker_run_client(
     mutable_state: ClientMutableState,
     broadcast_payload: bytes,
     wire_dtype: Optional[str],
+    decision: FaultDecision = NO_FAULT,
 ) -> _WorkerResult:
     client = _WORKER_CLIENTS.get(client_id)
     if client is None:
         raise RuntimeError(
             f"worker holds no definition for client {client_id}; pool out of sync"
         )
+    # Faults fire before any state is touched, so a failed attempt leaves
+    # the coordinator's (authoritative) client state untouched and a retry
+    # is bit-identical to a first try.
+    enact_fault(decision, in_worker=True)
     client.set_mutable_state(mutable_state)
     client.receive_global(unpack_state_dict(broadcast_payload))
     with Stopwatch() as watch:
@@ -202,6 +413,13 @@ class ParallelExecutor(RoundExecutor):
     mp_context:
         Optional multiprocessing start-method name (``"fork"``/``"spawn"``/
         ``"forkserver"``); ``None`` uses the platform default.
+    fault_injector / max_retries / backoff / client_timeout /
+    min_participation:
+        Shared fault-tolerance policy (see :class:`RoundExecutor`).
+    max_pool_respawns:
+        Respawn budget per round when the worker pool dies; the clients
+        whose results were lost re-run on the fresh pool, completed clients
+        do not.
     """
 
     name = "process"
@@ -212,16 +430,28 @@ class ParallelExecutor(RoundExecutor):
         wire_dtype: Optional[str] = None,
         round_timeout: Optional[float] = None,
         mp_context: Optional[str] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        max_retries: int = 0,
+        backoff: Optional[RetryBackoff] = None,
+        client_timeout: Optional[float] = None,
+        min_participation: float = 1.0,
+        max_pool_respawns: int = 2,
     ) -> None:
         resolved = num_workers or os.cpu_count() or 1
         if resolved < 1:
             raise ValueError("num_workers must be at least 1")
         if round_timeout is not None and round_timeout <= 0:
             raise ValueError("round_timeout must be positive")
+        if max_pool_respawns < 0:
+            raise ValueError("max_pool_respawns must be non-negative")
+        self._configure_fault_tolerance(
+            fault_injector, max_retries, backoff, client_timeout, min_participation
+        )
         self.num_workers = int(resolved)
         self.wire_dtype = wire_dtype
         self.round_timeout = round_timeout
         self.mp_context = mp_context
+        self.max_pool_respawns = int(max_pool_respawns)
         self._clients: Dict[int, FLClient] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -316,63 +546,205 @@ class ParallelExecutor(RoundExecutor):
                 f"participants {unknown} were not registered via prepare(); "
                 "the worker pool only holds the population it was built with"
             )
-        pool = self._ensure_pool()
+        round_index = server.round
+        tolerant = self._tolerant
+        by_id = {client.client_id: client for client in participants}
         payloads, bytes_broadcast = self._broadcast_payloads(participants, server)
-        futures = [
-            pool.submit(
-                _worker_run_client,
-                client.client_id,
-                client.get_mutable_state(),
-                payload,
-                self.wire_dtype,
-            )
-            for client, payload in zip(participants, payloads)
-        ]
+        payload_by_id = dict(zip(by_id, payloads))
         deadline = None if self.round_timeout is None else monotonic() + self.round_timeout
-        results: List[ClientExecution] = []
+
+        # Scheduler state: clients still owed a result, at their current
+        # attempt number.  Attempts count *that client's own* failures; a
+        # client re-run only because the pool died with its result in
+        # flight keeps its attempt number (and hence its fault schedule).
+        pending: Dict[int, int] = {client.client_id: 0 for client in participants}
+        completed: Dict[int, ClientExecution] = {}
+        failures: List[ClientFailure] = []
+        retries: Dict[int, int] = {}
+        respawns_left = self.max_pool_respawns
         bytes_aggregated = 0
-        for client, future in zip(participants, futures):
+        first_wave = True
+
+        def _spend_respawn(reason: str) -> None:
+            nonlocal respawns_left
+            self._terminate_pool()
+            if respawns_left <= 0:
+                raise RoundExecutionError(
+                    f"worker pool died and the respawn budget "
+                    f"(max_pool_respawns={self.max_pool_respawns}) is exhausted: "
+                    f"{reason}"
+                )
+            respawns_left -= 1
+            _log.warning("worker pool died (%s); respawning", reason)
+
+        while pending:
+            if not first_wave:
+                # One backoff per resubmission wave, paced by the wave's
+                # most-retried client (per-client sleeps would serialize an
+                # otherwise parallel engine).
+                max_attempt = max(pending.values())
+                if max_attempt > 0:
+                    delay = self.backoff.delay(max_attempt - 1)
+                    if delay > 0:
+                        time.sleep(delay)
+            first_wave = False
+            batch = list(pending.items())
+            decisions = {
+                cid: self._decide(round_index, cid, attempt) for cid, attempt in batch
+            }
             try:
-                if deadline is None:
-                    outcome = future.result()
-                else:
-                    outcome = future.result(timeout=max(deadline - monotonic(), 0.001))
-            except FutureTimeoutError:
-                self._terminate_pool()
-                raise RoundExecutionError(
-                    f"round timed out after {self.round_timeout:.1f}s waiting for "
-                    f"client {client.client_id}; worker pool terminated"
-                ) from None
+                pool = self._ensure_pool()
+                submit_at = monotonic()
+                futures = {
+                    cid: pool.submit(
+                        _worker_run_client,
+                        cid,
+                        by_id[cid].get_mutable_state(),
+                        payload_by_id[cid],
+                        self.wire_dtype,
+                        decisions[cid],
+                    )
+                    for cid, attempt in batch
+                }
             except BrokenProcessPool as exc:
+                _spend_respawn(f"pool rejected submissions: {exc!r}")
+                continue
+            next_pending: Dict[int, int] = {}
+            pool_broken = False
+            stuck_worker = False
+
+            def _retry_or_drop(cid: int, attempt: int, kind: str, message: str) -> None:
+                if attempt < self.max_retries:
+                    next_pending[cid] = attempt + 1
+                else:
+                    failures.append(
+                        ClientFailure(
+                            client_id=cid,
+                            kind=kind,
+                            attempts=attempt + 1,
+                            message=message,
+                        )
+                    )
+
+            for cid, attempt in batch:
+                future = futures[cid]
+                budgets = []
+                if deadline is not None:
+                    budgets.append(deadline)
+                if self.client_timeout is not None:
+                    budgets.append(submit_at + self.client_timeout)
+                try:
+                    if pool_broken:
+                        # The pool died earlier in this wave.  Futures that
+                        # finished before the death still hold results;
+                        # everything else was lost with the workers.
+                        if not future.done():
+                            raise BrokenProcessPool("lost with the pool")
+                        outcome = future.result()
+                    elif budgets:
+                        outcome = future.result(
+                            timeout=max(min(budgets) - monotonic(), 0.001)
+                        )
+                    else:
+                        outcome = future.result()
+                except FutureTimeoutError:
+                    if deadline is not None and monotonic() >= deadline:
+                        self._terminate_pool()
+                        raise RoundExecutionError(
+                            f"round timed out after {self.round_timeout:.1f}s waiting "
+                            f"for client {cid}; worker pool terminated"
+                        ) from None
+                    # Per-client straggler budget exceeded.  The worker may
+                    # still be busy with it, so recycle the pool after this
+                    # wave (without charging the respawn budget: the pool is
+                    # healthy, just occupied).
+                    stuck_worker = True
+                    _retry_or_drop(
+                        cid,
+                        attempt,
+                        "straggler",
+                        f"no result within client_timeout={self.client_timeout:.1f}s",
+                    )
+                except BrokenProcessPool as exc:
+                    pool_broken = True
+                    if not tolerant:
+                        self._terminate_pool()
+                        raise RoundExecutionError(
+                            f"worker process died while training client {cid} "
+                            "(out-of-memory or hard crash); pool terminated"
+                        ) from exc
+                    if decisions[cid].kind == "worker_death":
+                        # This client's injected fault killed its worker:
+                        # charge its retry budget.
+                        _retry_or_drop(cid, attempt, "worker_death", repr(exc))
+                    else:
+                        # Innocent bystander: its result was lost with the
+                        # pool.  Re-run at the same attempt number.
+                        next_pending[cid] = attempt
+                except InjectedClientCrash as exc:
+                    if not tolerant:  # pragma: no cover - injection implies tolerant
+                        self._terminate_pool()
+                        raise RoundExecutionError(
+                            f"client {cid} failed in worker: {exc!r}"
+                        ) from exc
+                    failures.append(
+                        ClientFailure(
+                            client_id=cid, kind="crash", attempts=attempt + 1,
+                            message=repr(exc),
+                        )
+                    )
+                except RoundExecutionError:
+                    raise
+                except Exception as exc:
+                    if not tolerant:
+                        self._terminate_pool()
+                        raise RoundExecutionError(
+                            f"client {cid} failed in worker: {exc!r}"
+                        ) from exc
+                    kind = (
+                        "transient"
+                        if isinstance(exc, InjectedTransientError)
+                        else "error"
+                    )
+                    _retry_or_drop(cid, attempt, kind, repr(exc))
+                else:
+                    bytes_aggregated += len(outcome.update_payload)
+                    # The returned mutable state makes the coordinator's
+                    # client object indistinguishable from one that trained
+                    # in-process.
+                    by_id[cid].set_mutable_state(outcome.mutable_state)
+                    update = ClientUpdate(
+                        client_id=outcome.client_id,
+                        state=unpack_state_dict(outcome.update_payload),
+                        num_samples=outcome.num_samples,
+                        train_loss=outcome.train_loss,
+                    )
+                    completed[cid] = ClientExecution(
+                        update=update, compute_seconds=outcome.compute_seconds
+                    )
+                    if attempt:
+                        retries[cid] = attempt
+            if pool_broken:
+                _spend_respawn(
+                    f"re-running {len(next_pending)} client(s) whose results were lost"
+                )
+            elif stuck_worker:
+                # Recycle silently: a straggler-occupied worker would leak
+                # into the next wave/round otherwise.
                 self._terminate_pool()
-                raise RoundExecutionError(
-                    f"worker process died while training client {client.client_id} "
-                    "(out-of-memory or hard crash); pool terminated"
-                ) from exc
-            except RoundExecutionError:
-                raise
-            except Exception as exc:
-                self._terminate_pool()
-                raise RoundExecutionError(
-                    f"client {client.client_id} failed in worker: {exc!r}"
-                ) from exc
-            bytes_aggregated += len(outcome.update_payload)
-            # The returned mutable state makes the coordinator's client
-            # object indistinguishable from one that trained in-process.
-            client.set_mutable_state(outcome.mutable_state)
-            update = ClientUpdate(
-                client_id=outcome.client_id,
-                state=unpack_state_dict(outcome.update_payload),
-                num_samples=outcome.num_samples,
-                train_loss=outcome.train_loss,
-            )
-            results.append(
-                ClientExecution(update=update, compute_seconds=outcome.compute_seconds)
-            )
+            pending = next_pending
+        self._check_participation(len(participants), len(completed), failures)
+        results = [
+            completed[client.client_id]
+            for client in participants
+            if client.client_id in completed
+        ]
         return RoundExecution(
             results=results,
             bytes_broadcast=bytes_broadcast,
             bytes_aggregated=bytes_aggregated,
+            failures=failures,
+            retries=retries,
         )
 
 
@@ -381,14 +753,36 @@ def make_executor(
     num_workers: Optional[int] = None,
     wire_dtype: Optional[str] = None,
     round_timeout: Optional[float] = None,
+    client_timeout: Optional[float] = None,
+    max_retries: int = 0,
+    backoff: Optional[RetryBackoff] = None,
+    min_participation: float = 1.0,
+    max_pool_respawns: int = 2,
+    fault_config: Optional[FaultConfig] = None,
+    fault_injector: Optional[FaultInjector] = None,
 ) -> RoundExecutor:
-    """Build a round executor from plain configuration values."""
+    """Build a round executor from plain configuration values.
+
+    ``fault_config`` builds a seeded :class:`FaultInjector`; pass
+    ``fault_injector`` instead for a scripted plan (tests).
+    """
+    if fault_injector is None and fault_config is not None and fault_config.enabled:
+        fault_injector = FaultInjector(fault_config)
+    policy = dict(
+        fault_injector=fault_injector,
+        max_retries=max_retries,
+        backoff=backoff,
+        client_timeout=client_timeout,
+        min_participation=min_participation,
+    )
     if backend == "sequential":
-        return SequentialExecutor()
+        return SequentialExecutor(**policy)
     if backend == "process":
         return ParallelExecutor(
             num_workers=num_workers,
             wire_dtype=wire_dtype,
             round_timeout=round_timeout,
+            max_pool_respawns=max_pool_respawns,
+            **policy,
         )
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

@@ -1,0 +1,197 @@
+"""Deterministic client-fault injection for the FedAvg executors.
+
+Cross-device federations are defined by stragglers, dropouts, and worker
+crashes, but those failure paths are exactly the ones a simulation never
+exercises by accident.  :class:`FaultInjector` makes them testable on
+demand: given a :class:`~repro.core.config.FaultConfig` it decides, for
+every ``(round, client, attempt)`` triple, whether that execution attempt
+crashes, fails transiently, stalls, or kills its worker process.
+
+Decisions are derived *statelessly* from ``(seed, round, client, attempt)``
+via :func:`repro.utils.rng.derive_rng`, so the fault schedule is identical
+regardless of execution order, backend, or how often it is queried — the
+properties that let a faulty parallel round be compared bit-for-bit against
+a faulty sequential one, and let a resumed run replay the same faults.
+
+The executors consume decisions in two places:
+
+* :class:`~repro.fl.executor.SequentialExecutor` enacts them in-process
+  (``worker_death`` degrades to ``crash``: killing the only process would
+  kill the simulation itself);
+* :class:`~repro.fl.executor.ParallelExecutor` ships each decision to the
+  worker alongside the training task; the worker enacts it *before*
+  touching client state, so a failed attempt never leaves partial state
+  behind and a retry is bit-identical to a first try.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple, Union
+
+from repro.core.config import FaultConfig
+from repro.utils.rng import derive_rng
+
+#: Every fault kind an injector can decide on ("none" means healthy).
+FAULT_KINDS = ("none", "crash", "transient", "straggler", "worker_death")
+
+
+class InjectedFault(RuntimeError):
+    """Base class of all injector-raised failures."""
+
+
+class InjectedClientCrash(InjectedFault):
+    """A permanent client failure for this round — never retried."""
+
+
+class InjectedTransientError(InjectedFault):
+    """A retriable failure: a later attempt may succeed."""
+
+
+class StragglerTimeout(InjectedFault):
+    """A straggler exceeded the per-client budget (sequential simulation)."""
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What happens to one ``(round, client, attempt)`` execution."""
+
+    kind: str = "none"
+    delay_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+
+    @property
+    def is_fault(self) -> bool:
+        return self.kind != "none"
+
+
+#: Shared healthy decision (frozen, so safe to share).
+NO_FAULT = FaultDecision()
+
+
+@dataclass
+class ClientFailure:
+    """One client's terminal failure within a round (post-retries)."""
+
+    client_id: int
+    kind: str  # "crash" | "transient" | "straggler" | "worker_death" | "error"
+    attempts: int
+    message: str
+
+
+PlanKey = Tuple[int, int, int]  # (round_index, client_id, attempt)
+PlanValue = Union[str, FaultDecision]
+
+
+class FaultInjector:
+    """Seeded, stateless fault oracle for the round executors.
+
+    Parameters
+    ----------
+    config:
+        Fault rates and the root seed of the fault stream.
+    plan:
+        Optional explicit overrides: ``{(round, client, attempt): decision}``
+        where the decision is a :class:`FaultDecision` or a bare kind string
+        (``"crash"``, ``"transient"``, ...; stragglers default to the
+        config's delay).  Triples absent from the plan fall back to the
+        seeded sampling — pass ``FaultConfig()`` (all rates zero) for a
+        fully scripted schedule.
+    """
+
+    def __init__(
+        self,
+        config: Optional[FaultConfig] = None,
+        plan: Optional[Mapping[PlanKey, PlanValue]] = None,
+    ) -> None:
+        self.config = config or FaultConfig()
+        self.plan = dict(plan) if plan else {}
+
+    def decide(self, round_index: int, client_id: int, attempt: int) -> FaultDecision:
+        """The (deterministic) fate of this execution attempt."""
+        planned = self.plan.get((round_index, client_id, attempt))
+        if planned is not None:
+            return self._coerce(planned)
+        config = self.config
+        if not config.enabled:
+            return NO_FAULT
+        draw = float(
+            derive_rng(config.seed, "fault", round_index, client_id, attempt).random()
+        )
+        edge = config.crash_rate
+        if draw < edge:
+            return FaultDecision(kind="crash")
+        edge += config.transient_rate
+        if draw < edge:
+            return FaultDecision(kind="transient")
+        edge += config.straggler_rate
+        if draw < edge:
+            return FaultDecision(
+                kind="straggler", delay_seconds=config.straggler_delay_seconds
+            )
+        edge += config.worker_death_rate
+        if draw < edge:
+            return FaultDecision(kind="worker_death")
+        return NO_FAULT
+
+    def _coerce(self, planned: PlanValue) -> FaultDecision:
+        if isinstance(planned, FaultDecision):
+            return planned
+        if planned == "straggler":
+            return FaultDecision(
+                kind="straggler",
+                delay_seconds=self.config.straggler_delay_seconds,
+            )
+        return FaultDecision(kind=planned)
+
+
+def enact_fault(decision: FaultDecision, in_worker: bool) -> None:
+    """Enact a fault decision at the point a client would start training.
+
+    ``straggler`` sleeps, then returns (training proceeds late); the other
+    kinds raise.  ``worker_death`` hard-kills the hosting process — only
+    when ``in_worker`` is true; in-process executors degrade it to a crash.
+    Callers must invoke this *before* mutating any client state so failed
+    attempts are side-effect free.
+    """
+    if decision.kind == "none":
+        return
+    if decision.kind == "straggler":
+        if decision.delay_seconds > 0:
+            time.sleep(decision.delay_seconds)
+        return
+    if decision.kind == "transient":
+        raise InjectedTransientError("injected transient fault")
+    if decision.kind == "worker_death":
+        if in_worker:
+            # A real worker death (OOM kill, segfault) gives the runtime no
+            # chance to clean up; os._exit reproduces that faithfully.
+            os._exit(13)
+        raise InjectedClientCrash("injected worker death (degraded to crash in-process)")
+    raise InjectedClientCrash("injected client crash")
+
+
+@dataclass(frozen=True)
+class RetryBackoff:
+    """Exponential backoff schedule between retry attempts."""
+
+    base_seconds: float = 0.05
+    factor: float = 2.0
+    max_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.base_seconds < 0 or self.max_seconds < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt number ``attempt`` (0-based)."""
+        return min(self.base_seconds * self.factor ** attempt, self.max_seconds)

@@ -8,6 +8,7 @@ without changing the honest code path.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -43,10 +44,35 @@ class FLServer:
             state = self.broadcast_hook(self._round, client_id, state)
         return state
 
-    def aggregate(self, updates: Sequence[ClientUpdate]) -> StateDict:
-        """FedAvg the round's client updates into the global model."""
+    def aggregate(
+        self,
+        updates: Sequence[ClientUpdate],
+        expected_participants: Optional[int] = None,
+        min_participation: float = 1.0,
+    ) -> StateDict:
+        """FedAvg the round's client updates into the global model.
+
+        The update set may be a *subset* of the round's selected clients
+        (fault-tolerant rounds drop stragglers and crashed clients);
+        :func:`~repro.fl.aggregation.fedavg` re-weights the survivors by
+        ``num_samples``, so partial aggregation stays a correctly-weighted
+        average.  When ``expected_participants`` is given, the server
+        additionally enforces the ``min_participation`` quorum — a safety
+        net against an executor handing over a pathologically small
+        survivor set.
+        """
         if not updates:
             raise ValueError("no updates to aggregate")
+        if not 0.0 < min_participation <= 1.0:
+            raise ValueError("min_participation must be in (0, 1]")
+        if expected_participants is not None:
+            required = max(1, math.ceil(min_participation * expected_participants))
+            if len(updates) < required:
+                raise ValueError(
+                    f"refusing to aggregate {len(updates)}/{expected_participants} "
+                    f"updates: min_participation={min_participation:g} requires "
+                    f"{required}"
+                )
         merged = fedavg(
             [update.state for update in updates],
             weights=[update.num_samples for update in updates],
@@ -54,3 +80,10 @@ class FLServer:
         self.model.load_state_dict(merged)
         self._round += 1
         return merged
+
+    def restore(self, state: StateDict, round_index: int) -> None:
+        """Adopt checkpointed global weights and round counter (resume path)."""
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        self.model.load_state_dict(state)
+        self._round = int(round_index)

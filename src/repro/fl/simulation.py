@@ -16,13 +16,15 @@ history the evaluation needs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.config import CheckpointConfig
 from repro.data.dataset import Dataset
+from repro.fl import checkpoint as ckpt
 from repro.fl.client import ClientUpdate, FLClient
-from repro.fl.executor import RoundExecutor, SequentialExecutor
+from repro.fl.executor import RoundExecutionError, RoundExecutor, SequentialExecutor
 from repro.fl.server import FLServer
 from repro.fl.training import evaluate_model
 from repro.nn.optim import StepDecaySchedule
@@ -63,6 +65,11 @@ class RoundMetrics:
     client_compute_seconds: Dict[int, float]
     bytes_broadcast: int
     bytes_aggregated: int
+    #: Clients dropped from the round after exhausting their retry budget,
+    #: mapped to the failure kind ("crash", "straggler", "worker_death", ...).
+    dropped_clients: Dict[int, str] = field(default_factory=dict)
+    #: Surviving clients that needed retries, mapped to the retry count.
+    retried_clients: Dict[int, int] = field(default_factory=dict)
 
     @property
     def total_compute_seconds(self) -> float:
@@ -71,10 +78,16 @@ class RoundMetrics:
 
 @dataclass
 class FLHistory:
-    """Record of a federated run."""
+    """Record of a federated run.
+
+    ``test_accuracy`` holds ``(round_index, accuracy)`` pairs, where the
+    round index is the number of completed rounds at measurement time —
+    with ``eval_every > 1`` every accuracy still maps back to the exact
+    round it measured.
+    """
 
     train_losses: List[Dict[int, float]] = field(default_factory=list)
-    test_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: List[Tuple[int, float]] = field(default_factory=list)
     snapshots: List[RoundSnapshot] = field(default_factory=list)
     round_metrics: List[RoundMetrics] = field(default_factory=list)
 
@@ -85,7 +98,8 @@ class FLHistory:
     def client_loss_series(self, client_id: int) -> np.ndarray:
         """This client's training-loss trajectory over the rounds it joined.
 
-        With partial participation, rounds the client sat out are skipped.
+        With partial participation (or fault-dropped rounds), rounds the
+        client sat out are skipped.
         """
         return np.array(
             [
@@ -96,7 +110,14 @@ class FLHistory:
         )
 
     def final_test_accuracy(self) -> float:
-        return self.test_accuracy[-1] if self.test_accuracy else float("nan")
+        return self.test_accuracy[-1][1] if self.test_accuracy else float("nan")
+
+    def test_accuracy_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluation rounds and their accuracies as aligned arrays."""
+        if not self.test_accuracy:
+            return np.array([], dtype=int), np.array([])
+        rounds, accuracies = zip(*self.test_accuracy)
+        return np.array(rounds, dtype=int), np.array(accuracies)
 
     def mean_round_seconds(self) -> float:
         """Mean wall-clock seconds per round (NaN before any round ran)."""
@@ -105,6 +126,14 @@ class FLHistory:
         return float(
             np.mean([metrics.wall_clock_seconds for metrics in self.round_metrics])
         )
+
+    def dropped_client_rounds(self) -> Dict[int, int]:
+        """How many rounds each client was dropped from (fault tolerance)."""
+        counts: Dict[int, int] = {}
+        for metrics in self.round_metrics:
+            for client_id in metrics.dropped_clients:
+                counts[client_id] = counts.get(client_id, 0) + 1
+        return counts
 
 
 class FederatedSimulation:
@@ -121,6 +150,7 @@ class FederatedSimulation:
         clients_per_round: Optional[int] = None,
         sampling_seed: Optional[int] = None,
         executor: Optional[RoundExecutor] = None,
+        checkpoint: Optional[CheckpointConfig] = None,
     ) -> None:
         """``clients_per_round`` enables partial participation: each round a
         uniform random subset of that size trains; the rest sit out (the
@@ -131,7 +161,12 @@ class FederatedSimulation:
         :mod:`repro.fl.executor`); the default trains clients sequentially
         in-process.  Pooled executors hold worker processes — call
         :meth:`close` (or use the simulation as a context manager) when
-        done."""
+        done.
+
+        ``checkpoint`` enables periodic checkpointing (see
+        :mod:`repro.fl.checkpoint`): every ``checkpoint.every`` completed
+        rounds the full resumable state lands in ``checkpoint.directory``,
+        and :meth:`resume` restarts a killed run from the newest one."""
         if not clients:
             raise ValueError("simulation needs at least one client")
         if clients_per_round is not None and not 1 <= clients_per_round <= len(clients):
@@ -146,6 +181,7 @@ class FederatedSimulation:
         self._sampling_rng = np.random.default_rng(sampling_seed)
         self.executor = executor if executor is not None else SequentialExecutor()
         self.executor.prepare(self.clients)
+        self.checkpoint = checkpoint
         self.history = FLHistory()
 
     def close(self) -> None:
@@ -167,9 +203,25 @@ class FederatedSimulation:
         return [self.clients[i] for i in sorted(picks)]
 
     def run(self, rounds: int) -> FLHistory:
-        """Run ``rounds`` communication rounds, extending the history."""
-        for _ in range(rounds):
-            self.run_round()
+        """Run ``rounds`` communication rounds, extending the history.
+
+        An unrecoverable :class:`RoundExecutionError` releases the
+        executor's pooled workers before propagating — a failed multi-hour
+        run must not leak a process pool.  With checkpointing enabled the
+        state saved before the failure remains on disk for :meth:`resume`.
+        """
+        try:
+            for _ in range(rounds):
+                self.run_round()
+                if (
+                    self.checkpoint is not None
+                    and self.checkpoint.enabled
+                    and self.server.round % self.checkpoint.every == 0
+                ):
+                    self.save_checkpoint()
+        except RoundExecutionError:
+            self.close()
+            raise
         return self.history
 
     def run_round(self) -> List[ClientUpdate]:
@@ -182,7 +234,14 @@ class FederatedSimulation:
         with Stopwatch() as round_watch:
             execution = self.executor.execute(participants, self.server)
             updates = execution.updates
-            after = self.server.aggregate(updates)
+            # The executor already enforced its min_participation quorum;
+            # re-asserting it here guards the aggregation against any
+            # executor handing over a pathologically small survivor set.
+            after = self.server.aggregate(
+                updates,
+                expected_participants=len(participants),
+                min_participation=self.executor.min_participation,
+            )
         round_losses = {u.client_id: u.train_loss for u in updates}
         self.history.train_losses.append(round_losses)
         self.history.round_metrics.append(
@@ -196,6 +255,10 @@ class FederatedSimulation:
                 },
                 bytes_broadcast=execution.bytes_broadcast,
                 bytes_aggregated=execution.bytes_aggregated,
+                dropped_clients={
+                    failure.client_id: failure.kind for failure in execution.failures
+                },
+                retried_clients=dict(execution.retries),
             )
         )
 
@@ -221,11 +284,48 @@ class FederatedSimulation:
             and self.server.round % self.eval_every == 0
         ):
             result = evaluate_model(self.server.model, self.eval_dataset)
-            self.history.test_accuracy.append(result.accuracy)
+            self.history.test_accuracy.append((self.server.round, result.accuracy))
             _log.info(
                 "round %d: test acc %.4f", self.server.round, result.accuracy
             )
         return updates
+
+    # -- checkpoint / resume ----------------------------------------------
+    def save_checkpoint(self, directory: Optional[str] = None) -> str:
+        """Persist the full resumable state now; returns the file path."""
+        if directory is None:
+            if self.checkpoint is None or self.checkpoint.directory is None:
+                raise ValueError(
+                    "no checkpoint directory: pass one or configure "
+                    "CheckpointConfig(directory=...)"
+                )
+            directory = self.checkpoint.directory
+        keep = self.checkpoint.keep if self.checkpoint is not None else 0
+        return ckpt.save_checkpoint(self, directory, keep=keep)
+
+    def restore(self, path: str) -> int:
+        """Load a checkpoint file into this simulation (see
+        :func:`repro.fl.checkpoint.restore_simulation`)."""
+        return ckpt.restore_simulation(self, path)
+
+    def resume(self, rounds: int) -> FLHistory:
+        """Run to ``rounds`` *total* rounds, restarting from the newest
+        checkpoint when one exists.
+
+        A freshly-constructed simulation (same population, seeds, and
+        configuration as the interrupted run) that calls ``resume(n)``
+        produces a history bit-identical to an uninterrupted ``run(n)``.
+        Without any checkpoint on disk this is exactly ``run(rounds)``.
+        """
+        if self.checkpoint is None or self.checkpoint.directory is None:
+            raise ValueError("resume requires CheckpointConfig(directory=...)")
+        path = ckpt.latest_checkpoint(self.checkpoint.directory)
+        if path is not None:
+            self.restore(path)
+        remaining = rounds - self.server.round
+        if remaining > 0:
+            self.run(remaining)
+        return self.history
 
     def evaluate_global(self, dataset: Dataset):
         """Evaluate the current global model (used for final reporting)."""

@@ -91,3 +91,70 @@ class TestServer:
         tampered = server.broadcast(1)
         assert state_dicts_allclose(clean, server.global_state())
         assert not state_dicts_allclose(tampered, clean)
+
+    def test_broadcast_hook_sees_round_and_client(self, dataset):
+        server = FLServer(factory)
+        calls = []
+
+        def hook(round_index, client_id, state):
+            calls.append((round_index, client_id))
+            return state
+
+        server.broadcast_hook = hook
+        client = FLClient(0, dataset, factory, seed=1)
+        client.receive_global(server.broadcast(0))
+        server.aggregate([client.local_update()])
+        server.broadcast(3)
+        assert calls == [(0, 0), (1, 3)]
+
+    def test_sequential_executor_delivers_tampered_state(self, dataset):
+        from repro.fl.executor import SequentialExecutor
+
+        server = FLServer(factory)
+        marker = 41.5
+
+        def hook(round_index, client_id, state):
+            if client_id == 1:
+                state = dict(state)
+                state["backbone.body.layer0.bias"] = np.full_like(
+                    state["backbone.body.layer0.bias"], marker
+                )
+            return state
+
+        server.broadcast_hook = hook
+        received = {}
+
+        class _ProbeClient(FLClient):
+            def receive_global(self, state):
+                received[self.client_id] = state["backbone.body.layer0.bias"].copy()
+                super().receive_global(state)
+
+        clients = [_ProbeClient(i, dataset, factory, seed=i) for i in range(2)]
+        SequentialExecutor().execute(clients, server)
+        assert not np.allclose(received[0], marker)
+        assert np.allclose(received[1], marker)
+
+    def test_parallel_payloads_are_per_client_under_hook(self, dataset):
+        from repro.fl.executor import ParallelExecutor
+        from repro.nn.serialization import unpack_state_dict
+
+        clients = [FLClient(i, dataset, factory, seed=i) for i in range(3)]
+        executor = ParallelExecutor(num_workers=1)
+        try:
+            server = FLServer(factory)
+            # No hook: one shared packed buffer for every participant.
+            shared, shared_bytes = executor._broadcast_payloads(clients, server)
+            assert all(payload is shared[0] for payload in shared)
+            assert shared_bytes == len(shared[0]) * len(clients)
+
+            def hook(round_index, client_id, state):
+                return {k: v + float(client_id) for k, v in state.items()}
+
+            server.broadcast_hook = hook
+            tampered, _ = executor._broadcast_payloads(clients, server)
+            states = [unpack_state_dict(payload) for payload in tampered]
+            key = "backbone.body.layer0.bias"
+            np.testing.assert_allclose(states[1][key], states[0][key] + 1.0)
+            np.testing.assert_allclose(states[2][key], states[0][key] + 2.0)
+        finally:
+            executor.close()
