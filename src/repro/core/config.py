@@ -52,6 +52,17 @@ class ExecutionConfig:
         How many times per round the process backend may respawn a worker
         pool that died (e.g. a worker was OOM-killed) before giving up.
         Only the clients whose results were lost with the pool re-run.
+    nn_debug:
+        Turn on the :mod:`repro.nn.diagnostics` invariant guards (grad
+        shape/dtype checks, NaN/Inf anomaly detection) for the run.
+        Equivalent to setting ``REPRO_NN_DEBUG=1``; noticeably slower, so
+        off by default.  Once enabled, the guards stay on for the process
+        lifetime (a later config without the flag does not disable them).
+    profile_ops:
+        Collect per-op call/time/bytes counters during the run (see
+        ``repro.nn.diagnostics.get_op_stats``); per-round deltas appear in
+        ``RoundMetrics.op_stats``.  Same enable-only lifetime as
+        ``nn_debug``.
     """
 
     backend: str = "sequential"
@@ -65,6 +76,8 @@ class ExecutionConfig:
     retry_backoff_max_seconds: float = 5.0
     min_participation: float = 1.0
     max_pool_respawns: int = 2
+    nn_debug: bool = False
+    profile_ops: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:

@@ -64,6 +64,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="compress broadcast/update payloads to this dtype "
         "(float32 halves traffic but breaks bitwise reproducibility)",
     )
+    diag = parser.add_argument_group(
+        "diagnostics",
+        "autograd correctness guards and op-level profiling "
+        "(see repro.nn.diagnostics)",
+    )
+    diag.add_argument(
+        "--nn-debug",
+        action="store_true",
+        help="enable autograd invariant guards (grad shape/dtype checks, "
+        "NaN/Inf anomaly detection); equivalent to REPRO_NN_DEBUG=1",
+    )
+    diag.add_argument(
+        "--profile-ops",
+        action="store_true",
+        help="collect per-op call/time/bytes counters and print a table "
+        "after the selected experiments",
+    )
     fault = parser.add_argument_group(
         "fault tolerance",
         "graceful degradation of federated rounds (defaults preserve the "
@@ -150,6 +167,8 @@ def main(argv=None) -> int:
             client_timeout=args.client_timeout,
             max_retries=args.max_retries,
             min_participation=args.min_participation,
+            nn_debug=args.nn_debug,
+            profile_ops=args.profile_ops,
         ),
         faults=parse_fault_config(args.inject_faults, args.fault_seed),
     )
@@ -180,6 +199,11 @@ def main(argv=None) -> int:
         print(format_table(result))
         print(f"({experiment_id} completed in {elapsed:.1f}s at profile '{profile.name}')")
         print()
+    if args.profile_ops:
+        from repro.nn import diagnostics
+
+        print("op profile (all selected experiments):")
+        print(diagnostics.format_op_table())
     return 0
 
 

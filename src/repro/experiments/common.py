@@ -59,6 +59,16 @@ def set_execution_config(
     global _EXECUTION_CONFIG, _FAULT_CONFIG
     _EXECUTION_CONFIG = config
     _FAULT_CONFIG = faults
+    # Enable-only: a default config must not clobber REPRO_NN_DEBUG or an
+    # earlier explicit enable.
+    if config.nn_debug:
+        from repro.nn import diagnostics
+
+        diagnostics.enable_debug()
+    if config.profile_ops:
+        from repro.nn import diagnostics
+
+        diagnostics.enable_op_profiling()
 
 
 def get_execution_config() -> ExecutionConfig:

@@ -133,7 +133,19 @@ def restore_simulation(simulation, path: str) -> int:
             "simulation with the population it was checkpointed with"
         )
     round_index = int(payload["round"])
-    simulation.server.restore(unpack_state_dict(payload["server_state"]), round_index)
+    try:
+        # load_state_dict is strict: a checkpoint that lacks a parameter or
+        # buffer of the current model (or carries keys the model does not
+        # have) is rejected rather than partially applied — e.g. BatchNorm
+        # running stats can never silently survive a restore.
+        simulation.server.restore(
+            unpack_state_dict(payload["server_state"]), round_index
+        )
+    except (KeyError, ValueError) as exc:
+        raise ValueError(
+            f"checkpoint {path} is incompatible with the simulation's model: "
+            f"{exc}"
+        ) from exc
     for client in simulation.clients:
         client.set_mutable_state(client_states[client.client_id])
     rng = np.random.default_rng()

@@ -71,6 +71,9 @@ from repro.fl.faults import (
     StragglerTimeout,
     enact_fault,
 )
+from repro.nn.diagnostics import OpStat, op_stats_delta
+from repro.nn.diagnostics import get_op_stats as _get_op_stats
+from repro.nn.diagnostics import profiling_enabled as _op_profiling_enabled
 from repro.nn.serialization import (
     pack_state_dict,
     state_dict_nbytes,
@@ -106,6 +109,10 @@ class RoundExecution:
     ``failures`` lists clients dropped from the round after exhausting
     their retry budget (empty on an untroubled round); ``retries`` maps
     surviving client ids to the number of extra attempts they needed.
+    ``op_stats`` holds the round's per-op counter deltas when op profiling
+    is on (``repro.nn.diagnostics``); empty otherwise.  On the process
+    backend it covers coordinator-side ops only — worker processes keep
+    their own counters.
     """
 
     results: List[ClientExecution]
@@ -113,6 +120,7 @@ class RoundExecution:
     bytes_aggregated: int
     failures: List[ClientFailure] = field(default_factory=list)
     retries: Dict[int, int] = field(default_factory=dict)
+    op_stats: Dict[str, "OpStat"] = field(default_factory=dict)
 
     @property
     def updates(self) -> List[ClientUpdate]:
@@ -256,6 +264,7 @@ class SequentialExecutor(RoundExecutor):
     def execute(self, participants: Sequence[FLClient], server) -> RoundExecution:
         round_index = server.round
         tolerant = self._tolerant
+        op_before = _get_op_stats() if _op_profiling_enabled() else None
         results: List[ClientExecution] = []
         failures: List[ClientFailure] = []
         retries: Dict[int, int] = {}
@@ -339,6 +348,7 @@ class SequentialExecutor(RoundExecutor):
             bytes_aggregated=bytes_aggregated,
             failures=failures,
             retries=retries,
+            op_stats=op_stats_delta(op_before) if op_before is not None else {},
         )
 
 
@@ -548,6 +558,7 @@ class ParallelExecutor(RoundExecutor):
             )
         round_index = server.round
         tolerant = self._tolerant
+        op_before = _get_op_stats() if _op_profiling_enabled() else None
         by_id = {client.client_id: client for client in participants}
         payloads, bytes_broadcast = self._broadcast_payloads(participants, server)
         payload_by_id = dict(zip(by_id, payloads))
@@ -745,6 +756,7 @@ class ParallelExecutor(RoundExecutor):
             bytes_aggregated=bytes_aggregated,
             failures=failures,
             retries=retries,
+            op_stats=op_stats_delta(op_before) if op_before is not None else {},
         )
 
 

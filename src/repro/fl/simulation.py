@@ -27,6 +27,7 @@ from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.executor import RoundExecutionError, RoundExecutor, SequentialExecutor
 from repro.fl.server import FLServer
 from repro.fl.training import evaluate_model
+from repro.nn.diagnostics import OpStat
 from repro.nn.optim import StepDecaySchedule
 from repro.nn.serialization import clone_state_dict
 from repro.utils.logging import get_logger
@@ -70,6 +71,9 @@ class RoundMetrics:
     dropped_clients: Dict[int, str] = field(default_factory=dict)
     #: Surviving clients that needed retries, mapped to the retry count.
     retried_clients: Dict[int, int] = field(default_factory=dict)
+    #: Per-op counter deltas for the round when op profiling is enabled
+    #: (see :mod:`repro.nn.diagnostics`); empty otherwise.
+    op_stats: Dict[str, "OpStat"] = field(default_factory=dict)
 
     @property
     def total_compute_seconds(self) -> float:
@@ -259,6 +263,7 @@ class FederatedSimulation:
                     failure.client_id: failure.kind for failure in execution.failures
                 },
                 retried_clients=dict(execution.retries),
+                op_stats=execution.op_stats,
             )
         )
 

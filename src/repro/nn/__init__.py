@@ -9,6 +9,8 @@ optimizers, and mini versions of the paper's backbone architectures.  See
 
 from repro.nn.tensor import Tensor, no_grad, concatenate, stack, where
 from repro.nn import functional
+from repro.nn import diagnostics
+from repro.nn.diagnostics import debug_mode, gradcheck, profile_ops
 from repro.nn.layers import (
     AvgPool2d,
     BatchNorm1d,
@@ -49,6 +51,10 @@ __all__ = [
     "stack",
     "where",
     "functional",
+    "diagnostics",
+    "debug_mode",
+    "gradcheck",
+    "profile_ops",
     "Module",
     "Parameter",
     "Linear",

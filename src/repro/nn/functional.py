@@ -13,6 +13,18 @@ import numpy as np
 
 from repro.nn.tensor import Tensor, is_grad_enabled
 
+#: Op entry points instrumented by :mod:`repro.nn.diagnostics` when op
+#: profiling is enabled.  Composite ops (conv2d runs pad/matmul/reshape
+#: internally) report *exclusive* time, so their internals are not listed.
+PROFILED_OPS = (
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "log_softmax",
+    "softmax",
+    "dropout",
+)
+
 
 # ----------------------------------------------------------------------
 # im2col machinery
@@ -263,3 +275,14 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = T
         x._accumulate(grad * mask)
 
     return x._make(x.data * mask, (x,), backward, "dropout")
+
+
+# Wrap the profiled entry points once, at module-definition time, so every
+# importer — including `from repro.nn.functional import log_softmax`-style
+# by-value imports (losses, defenses) — gets the instrumented callable.
+# The wrapper is a no-op passthrough while op profiling is disabled.
+from repro.nn import diagnostics as _diagnostics  # noqa: E402  (needs the ops above)
+
+for _name in PROFILED_OPS:
+    globals()[_name] = _diagnostics.timed_op(_name, globals()[_name])
+del _name

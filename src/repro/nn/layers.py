@@ -10,7 +10,7 @@ across processes, which the FL aggregation layer relies on.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -27,6 +27,13 @@ class Parameter(Tensor):
         super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
 
 
+class LoadResult(NamedTuple):
+    """Keys :meth:`Module.load_state_dict` could not match (strict=False)."""
+
+    missing_keys: List[str]
+    unexpected_keys: List[str]
+
+
 class Module:
     """Base class for all layers and models."""
 
@@ -38,10 +45,29 @@ class Module:
 
     # -- attribute-based registration ---------------------------------
     def __setattr__(self, name: str, value: object) -> None:
-        if isinstance(value, Parameter):
-            self._parameters[name] = value
-        elif isinstance(value, Module):
-            self._modules[name] = value
+        # Re-assignment must also *de*register, or state_dict() keeps
+        # exporting an attribute the module stopped using (and FedAvg
+        # aggregates the dead weight).
+        params = self.__dict__.get("_parameters")
+        if params is not None:
+            if isinstance(value, Parameter):
+                self._modules.pop(name, None)
+                self._buffers.pop(name, None)
+                params[name] = value
+            elif isinstance(value, Module):
+                params.pop(name, None)
+                self._buffers.pop(name, None)
+                self._modules[name] = value
+            else:
+                params.pop(name, None)
+                self._modules.pop(name, None)
+                if name in self._buffers:
+                    if isinstance(value, np.ndarray):
+                        # Assigning an array to a registered buffer keeps
+                        # it a buffer (mirrors register_buffer semantics).
+                        self._set_buffer(name, value)
+                        return
+                    del self._buffers[name]
         object.__setattr__(self, name, value)
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
@@ -101,25 +127,58 @@ class Module:
             state[name] = buffer.copy()
         return state
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(
+        self, state: Dict[str, np.ndarray], strict: bool = True
+    ) -> LoadResult:
+        """Copy ``state`` into the module's parameters and buffers.
+
+        With ``strict=True`` (the default) every parameter *and buffer* of
+        the module must be present in ``state`` and every key of ``state``
+        must belong to the module, otherwise ``KeyError`` is raised — a
+        checkpoint restore can neither keep stale BatchNorm running stats
+        nor silently "load" a typo'd key.  All keys and shapes are
+        validated before anything is mutated, so a failed load leaves the
+        module untouched.  Returns the missing/unexpected keys for
+        ``strict=False`` callers (partial restores).
+        """
         own_params = dict(self.named_parameters())
-        own_buffers = {name: module for name, module in self._named_buffer_owners()}
-        missing = []
+        own_buffers = {name: owner for name, owner in self._named_buffer_owners()}
+        missing = [
+            name
+            for name in list(own_params) + list(own_buffers)
+            if name not in state
+        ]
+        unexpected = [
+            name for name in state if name not in own_params and name not in own_buffers
+        ]
         for name, param in own_params.items():
-            if name not in state:
-                missing.append(name)
-                continue
-            value = np.asarray(state[name], dtype=np.float64)
-            if value.shape != param.shape:
+            if name in state and np.asarray(state[name]).shape != param.shape:
                 raise ValueError(
-                    f"shape mismatch for {name}: {value.shape} vs {param.shape}"
+                    f"shape mismatch for {name}: "
+                    f"{np.asarray(state[name]).shape} vs {param.shape}"
                 )
-            param.data = value.copy()
+        for name, (module, local) in own_buffers.items():
+            if name in state:
+                shape = np.asarray(state[name]).shape
+                if shape != module._buffers[local].shape:
+                    raise ValueError(
+                        f"shape mismatch for buffer {name}: "
+                        f"{shape} vs {module._buffers[local].shape}"
+                    )
+        if strict and (missing or unexpected):
+            problems = []
+            if missing:
+                problems.append(f"missing keys: {missing}")
+            if unexpected:
+                problems.append(f"unexpected keys: {unexpected}")
+            raise KeyError(f"load_state_dict (strict): {'; '.join(problems)}")
+        for name, param in own_params.items():
+            if name in state:
+                param.data = np.asarray(state[name], dtype=np.float64).copy()
         for name, (module, local) in own_buffers.items():
             if name in state:
                 module._set_buffer(local, np.asarray(state[name]))
-        if missing:
-            raise KeyError(f"state dict missing parameters: {missing}")
+        return LoadResult(missing_keys=missing, unexpected_keys=unexpected)
 
     def _named_buffer_owners(
         self, prefix: str = ""

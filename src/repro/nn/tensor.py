@@ -429,12 +429,16 @@ class Tensor:
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
-        inverse = np.argsort(axes)
+        out_data = self.data.transpose(axes)  # validates axes before we mod them
+        # argsort only inverts a permutation expressed with non-negative
+        # axes; normalize first so e.g. (-1, 0, 1) inverts to (1, 2, 0).
+        normalized = tuple(int(a) % self.ndim for a in axes)
+        inverse = tuple(int(i) for i in np.argsort(normalized))
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.transpose(inverse))
 
-        return self._make(self.data.transpose(axes), (self,), backward, "transpose")
+        return self._make(out_data, (self,), backward, "transpose")
 
     @property
     def T(self) -> "Tensor":
@@ -443,8 +447,10 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
 
+        dtype = self.dtype if np.issubdtype(self.dtype, np.floating) else np.float64
+
         def backward(grad: np.ndarray) -> None:
-            full = np.zeros(self.shape, dtype=np.float64)
+            full = np.zeros(self.shape, dtype=dtype)
             np.add.at(full, index, grad)
             self._accumulate(full)
 
@@ -533,11 +539,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 index[axis] = slice(lo, hi)
                 tensor._accumulate(grad[tuple(index)])
 
-    requires = _grad_enabled and any(t.requires_grad for t in tensors)
-    out = Tensor(out_data, requires_grad=requires, _parents=tuple(tensors), _op="concat")
-    if requires:
-        out._backward = backward
-    return out
+    return Tensor._make(tensors[0], out_data, tuple(tensors), backward, "concat")
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -551,11 +553,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             if tensor.requires_grad:
                 tensor._accumulate(np.squeeze(slab, axis=axis))
 
-    requires = _grad_enabled and any(t.requires_grad for t in tensors)
-    out = Tensor(out_data, requires_grad=requires, _parents=tuple(tensors), _op="stack")
-    if requires:
-        out._backward = backward
-    return out
+    return Tensor._make(tensors[0], out_data, tuple(tensors), backward, "stack")
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -571,8 +569,4 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         if b.requires_grad:
             b._accumulate(_unbroadcast(grad * ~cond, b.shape))
 
-    requires = _grad_enabled and (a.requires_grad or b.requires_grad)
-    out = Tensor(out_data, requires_grad=requires, _parents=(a, b), _op="where")
-    if requires:
-        out._backward = backward
-    return out
+    return Tensor._make(a, out_data, (a, b), backward, "where")

@@ -141,6 +141,14 @@ class TestReductionGradients:
         tensor.max(axis=1).sum().backward()
         np.testing.assert_allclose(tensor.grad, [[0.5, 0.5, 0.0]])
 
+    def test_max_ties_split_gradient_negative_axis(self):
+        x = np.array([[2.0, 2.0, 2.0], [0.0, 5.0, 5.0]])
+        tensor = Tensor(x, requires_grad=True)
+        tensor.max(axis=-1).sum().backward()
+        np.testing.assert_allclose(
+            tensor.grad, [[1 / 3, 1 / 3, 1 / 3], [0.0, 0.5, 0.5]]
+        )
+
     def test_var(self):
         check_gradient(lambda x: x.var(axis=0).sum(), (6, 3))
 
@@ -152,8 +160,37 @@ class TestShapeGradients:
     def test_transpose(self):
         check_gradient(lambda x: (x.transpose(1, 0, 2) ** 2).sum(), (2, 3, 4))
 
+    def test_transpose_negative_axes(self):
+        # Regression: argsort on raw negative axes produced the wrong
+        # inverse permutation, so the gradient came back wrongly permuted
+        # (or wrongly shaped when the dims differ).  The weight makes the
+        # objective sensitive to the permutation, unlike (x.T ** 2).sum().
+        rng = np.random.default_rng(16)
+        w = Tensor(rng.normal(size=(4, 2, 3)))
+        check_gradient(lambda x: ((x.transpose(-1, 0, 1) * w) ** 2).sum(), (2, 3, 4))
+
+    def test_transpose_negative_axes_square_dims(self):
+        # Coinciding dims: the pre-fix bug corrupted values silently
+        # instead of crashing.  Verify the gradient element-for-element.
+        rng = np.random.default_rng(17)
+        w = rng.normal(size=(3, 3, 3))
+        x = Tensor(rng.normal(size=(3, 3, 3)), requires_grad=True)
+        (x.transpose(-1, 0, 1) * Tensor(w)).sum().backward()
+        np.testing.assert_allclose(x.grad, w.transpose(1, 2, 0))
+
     def test_getitem(self):
         check_gradient(lambda x: (x[1:, :2] ** 2).sum(), (3, 4))
+
+    def test_getitem_repeated_indices(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        x[np.array([0, 0, 1])].sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 1.0, 0.0])
+
+    def test_getitem_preserves_float32_gradient(self):
+        x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        out = x[1:3].sum()
+        out.backward()
+        assert x.grad is not None and x.grad.shape == (4,)
 
     def test_pad(self):
         check_gradient(lambda x: (x.pad([(1, 1), (2, 0)]) ** 2).sum(), (3, 4))

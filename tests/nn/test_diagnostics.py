@@ -1,0 +1,304 @@
+"""The correctness-tooling subsystem: gradcheck, debug guards, op profiling."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.nn import diagnostics
+from repro.nn.diagnostics import (
+    AnomalyError,
+    GradcheckError,
+    InvariantError,
+    OpStat,
+    debug_mode,
+    format_op_table,
+    gradcheck,
+    merge_op_stats,
+    profile_ops,
+    provenance,
+)
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(autouse=True)
+def _clean_diagnostics_state():
+    yield
+    diagnostics.disable_debug()
+    diagnostics.disable_op_profiling()
+
+
+def _buggy_transpose(x: Tensor, axes) -> Tensor:
+    """The pre-fix transpose backward: argsort on raw (negative) axes."""
+    inverse = np.argsort(axes)
+
+    def backward(grad):
+        x._accumulate(grad.transpose(inverse))
+
+    return Tensor._make(x, x.data.transpose(axes), (x,), backward, "transpose")
+
+
+class TestGradcheck:
+    def test_passes_on_correct_op(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)), requires_grad=True)
+        assert gradcheck(lambda t: (t * t).sum(), [x])
+
+    def test_multiple_inputs_and_projection(self):
+        rng = np.random.default_rng(1)
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        # Non-scalar output exercises the random-projection path.
+        assert gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_catches_wrong_gradient(self):
+        def doubled_backward(t):
+            return Tensor._make(
+                t, t.data * 2.0, (t,), lambda g: t._accumulate(g * 3.0), "bad-mul"
+            )
+
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(GradcheckError, match="bad-mul"):
+            gradcheck(doubled_backward, [x], op_name="bad-mul")
+
+    def test_catches_missing_gradient(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(GradcheckError, match="no gradient"):
+            gradcheck(lambda t: Tensor(t.data * 2.0, requires_grad=True), [x])
+
+    def test_reproduces_prefix_transpose_bug_distinct_dims(self):
+        # Distinct dims: the buggy inverse permutation mis-shapes the
+        # gradient, which gradcheck reports as a shape violation.
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 3, 4)), requires_grad=True)
+        w = Tensor(np.random.default_rng(3).normal(size=(4, 2, 3)))
+        with pytest.raises(GradcheckError, match="transpose"):
+            gradcheck(
+                lambda t: (_buggy_transpose(t, (-1, 0, 1)) * w).sum(),
+                [x],
+                op_name="transpose",
+            )
+
+    def test_reproduces_prefix_transpose_bug_square_dims(self):
+        # Coinciding dims: the gradient has the right shape but wrongly
+        # permuted values — the silent-corruption case.
+        x = Tensor(np.random.default_rng(4).normal(size=(3, 3, 3)), requires_grad=True)
+        w = Tensor(np.random.default_rng(5).normal(size=(3, 3, 3)))
+        with pytest.raises(GradcheckError, match="transpose.*disagree"):
+            gradcheck(
+                lambda t: (_buggy_transpose(t, (-1, 0, 1)) * w).sum(),
+                [x],
+                op_name="transpose",
+            )
+
+    def test_float32_uses_loosened_tolerances(self):
+        x = Tensor(
+            np.random.default_rng(6).normal(size=(3, 3)).astype(np.float32),
+            requires_grad=True,
+        )
+        assert gradcheck(lambda t: (t.sigmoid() * t).sum(), [x])
+
+    def test_requires_a_differentiable_input(self):
+        with pytest.raises(ValueError, match="requires_grad"):
+            gradcheck(lambda t: t.sum(), [Tensor(np.ones(3))])
+
+
+class TestDebugMode:
+    def test_off_by_default_and_restores_original_methods(self):
+        assert not diagnostics.debug_enabled()
+        assert Tensor._make is diagnostics._ORIG_MAKE
+        assert Tensor._accumulate is diagnostics._ORIG_ACCUMULATE
+        with debug_mode():
+            assert diagnostics.debug_enabled()
+            assert Tensor._make is not diagnostics._ORIG_MAKE
+        # Zero-overhead off path: the seed method objects are back.
+        assert Tensor._make is diagnostics._ORIG_MAKE
+        assert Tensor._accumulate is diagnostics._ORIG_ACCUMULATE
+
+    def test_nested_context_restores_outer_state(self):
+        with debug_mode():
+            with debug_mode():
+                pass
+            assert diagnostics.debug_enabled()
+
+    def test_grad_shape_invariant_names_op_and_provenance(self):
+        with debug_mode():
+            x = Tensor(np.ones((2, 3)), requires_grad=True)
+            bad = Tensor._make(
+                x, x.data.sum(axis=0), (x,), lambda g: x._accumulate(g), "shape-bug"
+            )
+            with pytest.raises(InvariantError, match="shape-bug"):
+                bad.sum().backward()
+
+    def test_clean_graph_passes_under_guards(self):
+        with debug_mode():
+            rng = np.random.default_rng(7)
+            x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+            w = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+            ((x @ w).relu().sum()).backward()
+            assert x.grad.shape == x.shape
+
+    def test_forward_nan_raises_anomaly(self):
+        with debug_mode(), np.errstate(divide="ignore"):
+            x = Tensor(np.array([1.0, 0.0]), requires_grad=True)
+            with pytest.raises(AnomalyError, match="log"):
+                (x * 0.0).log()
+
+    def test_backward_nan_raises_anomaly(self):
+        with debug_mode():
+            x = Tensor(np.array([2.0]), requires_grad=True)
+            y = x * 1.0
+            with pytest.raises(AnomalyError):
+                y.backward(np.array([np.nan]))
+
+    def test_non_floating_grad_dtype_raises(self):
+        with debug_mode():
+            x = Tensor(np.ones(2), requires_grad=True)
+            bad = Tensor._make(
+                x,
+                x.data * 1.0,
+                (x,),
+                lambda g: x._accumulate(g.astype(np.int64)),
+                "int-grad",
+            )
+            with pytest.raises(InvariantError, match="int-grad"):
+                bad.sum().backward()
+
+    def test_env_var_enables_debug_in_subprocess(self):
+        code = (
+            "from repro.nn import diagnostics\n"
+            "assert diagnostics.debug_enabled()\n"
+            "print('debug-on')\n"
+        )
+        env = dict(os.environ, REPRO_NN_DEBUG="1", PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "debug-on" in proc.stdout
+
+    def test_provenance_chain(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = ((x * 2.0) + 1.0).relu()
+        assert provenance(y) == "relu <- add <- mul <- leaf"
+
+
+class TestOpProfiler:
+    def test_counts_calls_and_bytes(self):
+        with profile_ops() as prof:
+            x = Tensor(np.ones((4, 4)), requires_grad=True)
+            ((x @ x).relu().sum()).backward()
+        assert prof.stats["matmul"].calls == 1
+        assert prof.stats["matmul"].backward_calls == 1
+        assert prof.stats["matmul"].bytes_out == 4 * 4 * 8
+        assert prof.stats["relu"].calls == 1
+        assert prof.stats["sum"].calls == 1
+
+    def test_exclusive_forward_timing(self):
+        # __sub__ is composed of add+neg; the composite's exclusive time
+        # must not double-count its children, so the total stays close to
+        # the wall-clock of the block.
+        with profile_ops() as prof:
+            x = Tensor(np.ones((8, 8)), requires_grad=True)
+            (x - 1.0).sum().backward()
+        assert "add" in prof.stats and "neg" in prof.stats
+        assert all(s.forward_seconds >= 0.0 for s in prof.stats.values())
+
+    def test_wrappers_removed_when_disabled(self):
+        original = Tensor.__matmul__
+        with profile_ops():
+            assert Tensor.__matmul__ is not original
+        assert Tensor.__matmul__ is original
+        assert not diagnostics.profiling_enabled()
+
+    def test_module_level_functions_profiled(self):
+        from repro.nn import tensor as T
+
+        with profile_ops() as prof:
+            a = Tensor(np.ones((2, 2)), requires_grad=True)
+            T.concatenate([a, a], axis=0).sum().backward()
+            T.stack([a, a]).sum().backward()
+            T.where(np.ones((2, 2), dtype=bool), a, Tensor(np.zeros((2, 2)))).sum()
+        assert prof.stats["concat"].calls == 1
+        assert prof.stats["stack"].calls == 1
+        assert prof.stats["where"].calls == 1
+
+    def test_functional_ops_profiled(self):
+        from repro.nn import functional as F
+
+        with profile_ops() as prof:
+            x = Tensor(np.random.default_rng(8).normal(size=(2, 5)), requires_grad=True)
+            F.log_softmax(x).sum().backward()
+        assert prof.stats["log_softmax"].calls == 1
+
+    def test_delta_and_merge(self):
+        with profile_ops() as prof:
+            a = Tensor(np.ones(3), requires_grad=True)
+            (a * 2.0).sum().backward()
+            before = diagnostics.get_op_stats()
+            (a * 2.0).sum().backward()
+            delta = diagnostics.op_stats_delta(before)
+        assert delta["mul"].calls == 1
+        merged = merge_op_stats(delta, delta)
+        assert merged["mul"].calls == 2
+        assert prof.stats["mul"].calls == 2
+
+    def test_format_table(self):
+        table = format_op_table({"matmul": OpStat(calls=3, forward_seconds=0.001)})
+        assert "matmul" in table and "total" in table
+        assert format_op_table({}) == "(no ops profiled)"
+
+    def test_profiler_composes_with_debug_mode(self):
+        with debug_mode(), profile_ops() as prof:
+            x = Tensor(np.ones((2, 2)), requires_grad=True)
+            (x * x).sum().backward()
+        assert prof.stats["mul"].backward_calls == 1
+        assert Tensor._make is diagnostics._ORIG_MAKE
+
+
+class TestExecutionWiring:
+    def test_execution_config_enables_diagnostics(self):
+        from repro.core.config import ExecutionConfig
+        from repro.experiments.common import set_execution_config
+
+        try:
+            set_execution_config(ExecutionConfig(nn_debug=True, profile_ops=True))
+            assert diagnostics.debug_enabled()
+            assert diagnostics.profiling_enabled()
+            # Enable-only: a later default config must not clobber them.
+            set_execution_config(ExecutionConfig())
+            assert diagnostics.debug_enabled()
+            assert diagnostics.profiling_enabled()
+        finally:
+            set_execution_config(ExecutionConfig())
+            diagnostics.disable_debug()
+            diagnostics.disable_op_profiling()
+
+    def test_round_execution_records_op_stats(self, tiny_vector_dataset):
+        from repro.data.partition import partition_iid
+        from repro.fl.client import ClientConfig, FLClient
+        from repro.fl.server import FLServer
+        from repro.fl.simulation import FederatedSimulation
+        from repro.nn.models import build_model
+
+        def factory():
+            return build_model("mlp", 3, in_features=10, hidden=(8,), seed=0)
+
+        shards = partition_iid(tiny_vector_dataset, 2, seed=0)
+        clients = [
+            FLClient(i, shards[i], factory, ClientConfig(lr=0.05), seed=i)
+            for i in range(2)
+        ]
+        diagnostics.enable_op_profiling()
+        try:
+            simulation = FederatedSimulation(FLServer(factory), clients)
+            simulation.run(1)
+            metrics = simulation.history.round_metrics[0]
+            assert metrics.op_stats, "round should have recorded op activity"
+            assert any(stat.calls for stat in metrics.op_stats.values())
+        finally:
+            diagnostics.disable_op_profiling()

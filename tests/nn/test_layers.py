@@ -60,6 +60,79 @@ class TestModuleRegistration:
         state["weight"][:] = 99.0
         assert not np.allclose(layer.weight.data, 99.0)
 
+    def test_load_state_dict_missing_buffer(self):
+        # Regression: missing buffers were silently ignored, so a restore
+        # could keep stale BatchNorm running statistics.
+        bn = BatchNorm1d(3)
+        state = bn.state_dict()
+        del state["running_mean"]
+        with pytest.raises(KeyError, match="running_mean"):
+            bn.load_state_dict(state)
+
+    def test_load_state_dict_unexpected_key(self):
+        # Regression: a typo'd key used to "load" successfully.
+        layer = Linear(2, 2, seed=0)
+        state = layer.state_dict()
+        state["weigth"] = state["weight"].copy()
+        with pytest.raises(KeyError, match="weigth"):
+            layer.load_state_dict(state)
+
+    def test_load_state_dict_non_strict_reports_keys(self):
+        bn = BatchNorm1d(3)
+        state = bn.state_dict()
+        del state["running_var"]
+        state["extra"] = np.zeros(3)
+        result = bn.load_state_dict(state, strict=False)
+        assert result.missing_keys == ["running_var"]
+        assert result.unexpected_keys == ["extra"]
+
+    def test_load_state_dict_buffer_shape_mismatch(self):
+        bn = BatchNorm1d(3)
+        state = bn.state_dict()
+        state["running_mean"] = np.zeros(5)
+        with pytest.raises(ValueError, match="running_mean"):
+            bn.load_state_dict(state)
+
+    def test_load_state_dict_failure_leaves_module_untouched(self):
+        layer = Linear(2, 2, seed=0)
+        before = layer.state_dict()
+        state = layer.state_dict()
+        state["weight"] = np.full((2, 2), 7.0)
+        del state["bias"]
+        with pytest.raises(KeyError):
+            layer.load_state_dict(state)
+        after = layer.state_dict()
+        for name in before:
+            np.testing.assert_array_equal(before[name], after[name])
+
+    def test_setattr_deregisters_stale_parameter(self):
+        # Regression: re-assigning a registered Parameter to None left a
+        # stale _parameters entry, so state_dict() exported a "bias" the
+        # forward pass no longer used.
+        layer = Linear(2, 2, bias=True, seed=0)
+        layer.bias = None
+        assert "bias" not in dict(layer.named_parameters())
+        assert "bias" not in layer.state_dict()
+
+    def test_setattr_replaces_module_with_parameter(self):
+        module = Module()
+        module.head = Linear(2, 2, seed=0)
+        module.head = Parameter(np.zeros((2, 2)))
+        assert "head" not in module._modules
+        assert "head" in module._parameters
+
+    def test_setattr_array_assignment_updates_buffer(self):
+        bn = BatchNorm1d(3)
+        bn.running_mean = np.full(3, 2.5)
+        assert "running_mean" in bn._buffers
+        np.testing.assert_allclose(bn.state_dict()["running_mean"], 2.5)
+
+    def test_setattr_non_array_removes_buffer(self):
+        bn = BatchNorm1d(3)
+        bn.running_mean = None
+        assert "running_mean" not in bn._buffers
+        assert "running_mean" not in bn.state_dict()
+
     def test_train_eval_propagates(self):
         model = Sequential(Linear(2, 2, seed=0), Dropout(0.5, seed=1))
         model.eval()
