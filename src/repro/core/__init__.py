@@ -12,10 +12,12 @@ Public surface:
 
 from repro.core.blending import blend, blend_arrays, invert_blend
 from repro.core.config import (
+    ByzantineConfig,
     CheckpointConfig,
     CIPConfig,
     ExecutionConfig,
     FaultConfig,
+    ScreeningConfig,
 )
 from repro.core.perturbation import Perturbation, optimize_perturbation_for_model
 from repro.core.trainer import (
@@ -40,6 +42,8 @@ __all__ = [
     "ExecutionConfig",
     "FaultConfig",
     "CheckpointConfig",
+    "ByzantineConfig",
+    "ScreeningConfig",
     "blend",
     "blend_arrays",
     "invert_blend",

@@ -8,6 +8,20 @@ from typing import Optional, Tuple
 #: Round-execution backends understood by :class:`ExecutionConfig`.
 EXECUTION_BACKENDS = ("sequential", "process")
 
+#: Aggregation rules understood by :class:`ExecutionConfig` and the server
+#: (implemented in :mod:`repro.fl.aggregation`).
+AGGREGATORS = ("fedavg", "median", "trimmed_mean", "norm_clip", "krum", "multi_krum")
+
+#: Malicious-client behaviours understood by :class:`ByzantineConfig`
+#: (implemented in :mod:`repro.fl.malicious`; ``"none"`` means honest).
+BYZANTINE_ATTACKS = (
+    "none",
+    "sign_flip",
+    "model_replacement",
+    "gaussian_noise",
+    "nan_bomb",
+)
+
 
 @dataclass
 class ExecutionConfig:
@@ -63,6 +77,29 @@ class ExecutionConfig:
         ``repro.nn.diagnostics.get_op_stats``); per-round deltas appear in
         ``RoundMetrics.op_stats``.  Same enable-only lifetime as
         ``nn_debug``.
+    aggregator:
+        Aggregation rule the server applies to the round's accepted updates
+        (see :mod:`repro.fl.aggregation`).  ``"fedavg"`` (default) is the
+        paper's sample-weighted mean; the robust alternatives (``median``,
+        ``trimmed_mean``, ``norm_clip``, ``krum``, ``multi_krum``) bound
+        the influence any single — possibly Byzantine — client has on the
+        global model.
+    trim_fraction:
+        Fraction of extreme values trimmed from *each* end per coordinate
+        by the ``trimmed_mean`` aggregator.  ``0.0`` degenerates to the
+        plain (unweighted) mean.
+    clip_norm:
+        Per-update L2 delta bound of the ``norm_clip`` aggregator; ``None``
+        clips at the round's median delta norm.
+    krum_byzantine:
+        Byzantine-client count ``f`` assumed by ``krum``/``multi_krum``;
+        ``None`` uses the maximal tolerable ``f = (n - 3) // 2``.
+    screen_updates:
+        Screen every incoming client update before aggregation (NaN/Inf
+        rejection, delta-norm bounds, distance-based outlier scores; see
+        :mod:`repro.fl.robust`).  Rejected clients count against the
+        ``min_participation`` quorum, so screening is normally combined
+        with ``min_participation < 1``.
     """
 
     backend: str = "sequential"
@@ -78,6 +115,11 @@ class ExecutionConfig:
     max_pool_respawns: int = 2
     nn_debug: bool = False
     profile_ops: bool = False
+    aggregator: str = "fedavg"
+    trim_fraction: float = 0.1
+    clip_norm: Optional[float] = None
+    krum_byzantine: Optional[int] = None
+    screen_updates: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
@@ -100,6 +142,14 @@ class ExecutionConfig:
             raise ValueError("min_participation must be in (0, 1]")
         if self.max_pool_respawns < 0:
             raise ValueError("max_pool_respawns must be non-negative")
+        if self.aggregator not in AGGREGATORS:
+            raise ValueError(f"aggregator must be one of {AGGREGATORS}")
+        if not 0.0 <= self.trim_fraction < 0.5:
+            raise ValueError("trim_fraction must be in [0, 0.5)")
+        if self.clip_norm is not None and self.clip_norm <= 0:
+            raise ValueError("clip_norm must be positive")
+        if self.krum_byzantine is not None and self.krum_byzantine < 0:
+            raise ValueError("krum_byzantine must be non-negative")
 
 
 @dataclass
@@ -164,6 +214,115 @@ class FaultConfig:
                 self.worker_death_rate,
             )
         )
+
+
+@dataclass
+class ByzantineConfig:
+    """Deterministic malicious-client update corruption (see
+    :mod:`repro.fl.malicious`).
+
+    Unlike :class:`FaultConfig`'s benign failures, Byzantine clients train
+    honestly and then corrupt the state dict they *return* — the adversarial
+    threat model robust aggregation and update screening defend against.
+    Corruption is a pure function of ``(seed, round, client)``, so the attack
+    schedule is bit-identical across backends and across checkpoint resume.
+
+    Attributes
+    ----------
+    attack:
+        Behaviour of the listed clients: ``sign_flip`` reflects the update
+        about the broadcast state (the returned delta is the honest delta
+        negated), ``model_replacement`` scales the honest delta by ``scale``
+        (the boosted replacement attack of Bagdasaryan et al.),
+        ``gaussian_noise`` adds seed-derived N(0, ``noise_std``) noise, and
+        ``nan_bomb`` returns an all-NaN/Inf state.  ``"none"`` disables.
+    clients:
+        Ids of the malicious clients.
+    scale:
+        Delta amplification of ``model_replacement``.
+    noise_std:
+        Noise level of ``gaussian_noise``.
+    start_round:
+        Rounds before this are honest (sleeper-agent attacks).
+    seed:
+        Root seed of the attack's noise stream.
+    """
+
+    attack: str = "none"
+    clients: Tuple[int, ...] = ()
+    scale: float = 10.0
+    noise_std: float = 1.0
+    start_round: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attack not in BYZANTINE_ATTACKS:
+            raise ValueError(f"attack must be one of {BYZANTINE_ATTACKS}")
+        self.clients = tuple(int(c) for c in self.clients)
+        if any(c < 0 for c in self.clients):
+            raise ValueError("client ids must be non-negative")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        if self.start_round < 0:
+            raise ValueError("start_round must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.attack != "none" and bool(self.clients)
+
+
+@dataclass
+class ScreeningConfig:
+    """Server-side update screening (see :mod:`repro.fl.robust`).
+
+    Every rule is independent and deterministic; an update failing any rule
+    is quarantined before aggregation and counted against the
+    ``min_participation`` quorum.  Statistical rules (relative norm, outlier
+    score, cosine) need a population to compare against and are skipped when
+    fewer than ``min_updates`` finite updates arrived.
+
+    Attributes
+    ----------
+    max_delta_norm:
+        Absolute L2 bound on an update's delta from the broadcast state;
+        ``None`` disables the absolute rule.
+    norm_multiplier:
+        Relative bound: reject updates whose delta norm exceeds
+        ``norm_multiplier`` times the round's median delta norm.  ``0``
+        disables.
+    outlier_threshold:
+        Distance-based outlier rule: each update's anomaly score is its
+        distance to the coordinate-wise median delta, normalized by the
+        median of those distances; scores above the threshold are rejected.
+        ``0`` disables.
+    min_cosine:
+        Direction rule: reject updates whose delta's cosine similarity to
+        the coordinate-wise median delta falls below this (sign-flipped
+        updates score near -1).  ``None`` disables.
+    min_updates:
+        Minimum finite updates required before the statistical rules apply
+        (NaN/Inf and absolute-norm rejection always apply).
+    """
+
+    max_delta_norm: Optional[float] = None
+    norm_multiplier: float = 4.0
+    outlier_threshold: float = 4.0
+    min_cosine: Optional[float] = None
+    min_updates: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_delta_norm is not None and self.max_delta_norm <= 0:
+            raise ValueError("max_delta_norm must be positive")
+        if self.norm_multiplier < 0:
+            raise ValueError("norm_multiplier must be non-negative")
+        if self.outlier_threshold < 0:
+            raise ValueError("outlier_threshold must be non-negative")
+        if self.min_cosine is not None and not -1.0 <= self.min_cosine <= 1.0:
+            raise ValueError("min_cosine must be in [-1, 1]")
+        if self.min_updates < 2:
+            raise ValueError("min_updates must be at least 2")
 
 
 @dataclass

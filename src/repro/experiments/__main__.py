@@ -126,6 +126,78 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEED",
         help="root seed of the injected fault schedule (default: 0)",
     )
+    from repro.core.config import AGGREGATORS, BYZANTINE_ATTACKS
+
+    robust = parser.add_argument_group(
+        "Byzantine robustness",
+        "malicious-client update attacks and the server-side defenses "
+        "(defaults preserve plain FedAvg over trusted clients)",
+    )
+    robust.add_argument(
+        "--aggregator",
+        default="fedavg",
+        choices=AGGREGATORS,
+        help="server aggregation rule (default: fedavg; the robust rules "
+        "bound a Byzantine minority's influence)",
+    )
+    robust.add_argument(
+        "--trim-fraction",
+        type=float,
+        default=0.1,
+        metavar="FRACTION",
+        help="per-end trim fraction for --aggregator trimmed_mean "
+        "(default: 0.1)",
+    )
+    robust.add_argument(
+        "--clip-norm",
+        type=float,
+        default=None,
+        metavar="NORM",
+        help="delta-norm clip for --aggregator norm_clip "
+        "(default: the round's median delta norm)",
+    )
+    robust.add_argument(
+        "--krum-byzantine",
+        type=int,
+        default=None,
+        metavar="F",
+        help="assumed Byzantine count f for --aggregator krum/multi_krum "
+        "(default: the maximum tolerable (n-3)//2)",
+    )
+    robust.add_argument(
+        "--screen-updates",
+        action="store_true",
+        help="quarantine anomalous client updates before aggregation "
+        "(NaN/Inf, norm bounds, distance/direction outliers); rejected "
+        "clients count against --min-participation",
+    )
+    robust.add_argument(
+        "--byzantine-clients",
+        default=None,
+        metavar="ID[,ID...]",
+        help="comma-separated client ids that mount --byzantine-attack "
+        "(e.g. 0,3)",
+    )
+    robust.add_argument(
+        "--byzantine-attack",
+        default="none",
+        choices=BYZANTINE_ATTACKS,
+        help="attack the malicious clients mount on their returned updates",
+    )
+    robust.add_argument(
+        "--byzantine-scale",
+        type=float,
+        default=10.0,
+        metavar="SCALE",
+        help="boost factor of the model_replacement attack (default: 10)",
+    )
+    robust.add_argument(
+        "--byzantine-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="root seed of the gaussian_noise attack stream (default: 0)",
+    )
     return parser
 
 
@@ -151,6 +223,39 @@ def parse_fault_config(spec, seed):
     )
 
 
+def parse_byzantine_config(args):
+    """Build a ByzantineConfig from --byzantine-* flags (None when unused)."""
+    clients = args.byzantine_clients
+    attack = args.byzantine_attack
+    if clients is None and attack == "none":
+        return None
+    if clients is None:
+        raise SystemExit(
+            "--byzantine-attack needs --byzantine-clients to name the "
+            "malicious clients"
+        )
+    if attack == "none":
+        raise SystemExit(
+            "--byzantine-clients needs --byzantine-attack to pick their attack"
+        )
+    from repro.core.config import ByzantineConfig
+
+    try:
+        ids = tuple(int(part) for part in clients.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(
+            "--byzantine-clients expects comma-separated integer ids"
+        ) from None
+    if not ids:
+        raise SystemExit("--byzantine-clients names no client ids")
+    return ByzantineConfig(
+        attack=attack,
+        clients=ids,
+        scale=args.byzantine_scale,
+        seed=args.byzantine_seed,
+    )
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.verbose:
@@ -169,8 +274,14 @@ def main(argv=None) -> int:
             min_participation=args.min_participation,
             nn_debug=args.nn_debug,
             profile_ops=args.profile_ops,
+            aggregator=args.aggregator,
+            trim_fraction=args.trim_fraction,
+            clip_norm=args.clip_norm,
+            krum_byzantine=args.krum_byzantine,
+            screen_updates=args.screen_updates,
         ),
         faults=parse_fault_config(args.inject_faults, args.fault_seed),
+        byzantine=parse_byzantine_config(args),
     )
 
     if args.list:

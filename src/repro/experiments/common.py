@@ -15,7 +15,13 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.attacks.base import AttackData, CIPTarget, PlainTarget
-from repro.core.config import CIPConfig, ExecutionConfig, FaultConfig
+from repro.core.config import (
+    ByzantineConfig,
+    CIPConfig,
+    ExecutionConfig,
+    FaultConfig,
+    ScreeningConfig,
+)
 from repro.core.perturbation import Perturbation
 from repro.core.trainer import CIPTrainer
 from repro.data.benchmarks import (
@@ -44,21 +50,27 @@ _CIP_CACHE: Dict[tuple, "CIPArtifact"] = {}
 
 _EXECUTION_CONFIG = ExecutionConfig()
 _FAULT_CONFIG: Optional[FaultConfig] = None
+_BYZANTINE_CONFIG: Optional[ByzantineConfig] = None
 
 
 def set_execution_config(
-    config: ExecutionConfig, faults: Optional[FaultConfig] = None
+    config: ExecutionConfig,
+    faults: Optional[FaultConfig] = None,
+    byzantine: Optional[ByzantineConfig] = None,
 ) -> None:
     """Select the round-execution engine for all federated experiments.
 
     The experiment CLI threads ``--backend``/``--num-workers`` (and the
     fault-tolerance knobs) through here; every simulation built by
     :func:`run_federated` then uses it.  ``faults`` optionally enables
-    deterministic fault injection for robustness drills.
+    deterministic fault injection for robustness drills; ``byzantine``
+    turns the configured clients malicious (their returned updates are
+    corrupted by the executor — see :mod:`repro.fl.malicious`).
     """
-    global _EXECUTION_CONFIG, _FAULT_CONFIG
+    global _EXECUTION_CONFIG, _FAULT_CONFIG, _BYZANTINE_CONFIG
     _EXECUTION_CONFIG = config
     _FAULT_CONFIG = faults
+    _BYZANTINE_CONFIG = byzantine
     # Enable-only: a default config must not clobber REPRO_NN_DEBUG or an
     # earlier explicit enable.
     if config.nn_debug:
@@ -97,16 +109,40 @@ def build_executor() -> RoundExecutor:
         min_participation=config.min_participation,
         max_pool_respawns=config.max_pool_respawns,
         fault_config=_FAULT_CONFIG,
+        byzantine_config=_BYZANTINE_CONFIG,
     )
+
+
+def configure_server_robustness(server) -> None:
+    """Apply the active config's aggregator/screening knobs to a server.
+
+    Keeps experiment code that builds its own :class:`FLServer` honest about
+    the CLI's ``--aggregator``/``--screen-updates`` selection without every
+    call site repeating the option plumbing.
+    """
+    config = _EXECUTION_CONFIG
+    if config.aggregator != getattr(server, "aggregator_name", "fedavg"):
+        options: Dict[str, object] = {}
+        if config.aggregator == "trimmed_mean":
+            options["trim_fraction"] = config.trim_fraction
+        elif config.aggregator == "norm_clip":
+            options["clip_norm"] = config.clip_norm
+        elif config.aggregator in ("krum", "multi_krum"):
+            options["num_byzantine"] = config.krum_byzantine
+        server.set_aggregator(config.aggregator, **options)
+    if config.screen_updates and server.screening is None:
+        server.screening = ScreeningConfig()
 
 
 def run_federated(server, clients, rounds: int, **sim_kwargs) -> FederatedSimulation:
     """Run a FedAvg simulation on the configured execution backend.
 
-    Builds the simulation with :func:`build_executor`, runs ``rounds``
+    Builds the simulation with :func:`build_executor`, applies the active
+    aggregator/screening configuration to the server, runs ``rounds``
     rounds, and always releases pooled workers before returning the
     (finished) simulation for inspection.
     """
+    configure_server_robustness(server)
     simulation = FederatedSimulation(
         server, clients, executor=build_executor(), **sim_kwargs
     )

@@ -1,6 +1,18 @@
 """Federated-learning simulation substrate (FedAvg, per McMahan/Nasr)."""
 
-from repro.fl.aggregation import apply_delta, fedavg, flatten_state, state_delta
+from repro.fl.aggregation import (
+    AGGREGATORS,
+    apply_delta,
+    coordinate_median,
+    fedavg,
+    flatten_state,
+    krum,
+    make_aggregator,
+    multi_krum,
+    norm_clipped_fedavg,
+    state_delta,
+    trimmed_mean,
+)
 from repro.fl.checkpoint import latest_checkpoint, list_checkpoints
 from repro.fl.client import ClientConfig, ClientUpdate, FLClient
 from repro.fl.executor import (
@@ -36,7 +48,13 @@ from repro.fl.communication import (
     round_traffic_bytes,
     state_dict_bytes,
 )
-from repro.fl.malicious import GradientAscentHook, per_sample_losses_of_state
+from repro.fl.malicious import (
+    ByzantineInjector,
+    GradientAscentHook,
+    corrupt_state,
+    per_sample_losses_of_state,
+)
+from repro.fl.robust import REJECT_REASONS, ScreeningReport, screen_updates
 from repro.fl.training import (
     EvalResult,
     default_forward,
@@ -50,6 +68,13 @@ __all__ = [
     "state_delta",
     "apply_delta",
     "flatten_state",
+    "AGGREGATORS",
+    "coordinate_median",
+    "trimmed_mean",
+    "norm_clipped_fedavg",
+    "krum",
+    "multi_krum",
+    "make_aggregator",
     "ClientConfig",
     "ClientUpdate",
     "FLClient",
@@ -80,6 +105,11 @@ __all__ = [
     "compare_traffic",
     "GradientAscentHook",
     "per_sample_losses_of_state",
+    "ByzantineInjector",
+    "corrupt_state",
+    "screen_updates",
+    "ScreeningReport",
+    "REJECT_REASONS",
     "EvalResult",
     "default_forward",
     "evaluate_model",

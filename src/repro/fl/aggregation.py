@@ -5,64 +5,343 @@ server replaces the global weights by the sample-size-weighted mean of the
 clients' local weights.  Aggregation operates on state dicts so it is
 architecture-agnostic; BatchNorm running statistics are averaged the same
 way, which is the standard FedAvg-with-BN behaviour.
+
+FedAvg trusts every update, so a single Byzantine client controls the
+average.  The robust alternatives bound that influence:
+
+* :func:`coordinate_median` — coordinate-wise median; a minority of
+  arbitrarily-corrupted updates cannot move any coordinate past the honest
+  majority's values.
+* :func:`trimmed_mean` — coordinate-wise mean after trimming the
+  ``trim_fraction`` most extreme values from each end.
+* :func:`norm_clipped_fedavg` — FedAvg over per-update deltas clipped to a
+  bounded L2 norm, capping how far any one client can drag the model.
+* :func:`krum` / :func:`multi_krum` — select the update(s) closest to their
+  ``n - f - 2`` nearest neighbours (Blanchard et al.), discarding geometric
+  outliers entirely.
+
+All aggregators share a signature ``(states, weights=None, *,
+reference=None, ...)`` so the server can swap them via
+:func:`make_aggregator`.  The robust rules are *unweighted* by design —
+honoring attacker-controlled ``num_samples`` weights would hand back the
+influence they exist to bound — and every aggregator preserves the incoming
+floating dtype (a ``wire_dtype=float32`` run must not round-trip its
+parameters through an unintended ``float64`` upcast).
+
+Computation-cost note: ``median``/``trimmed_mean`` sort ``O(n·d log n)``,
+``krum`` computes all pairwise distances ``O(n²·d)`` — see
+``benchmarks/bench_robust_agg.py`` for measured costs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.config import AGGREGATORS
+
 StateDict = Dict[str, np.ndarray]
+#: Uniform aggregator signature used by the server (see make_aggregator).
+Aggregator = Callable[..., StateDict]
+
+__all__ = [
+    "AGGREGATORS",
+    "fedavg",
+    "coordinate_median",
+    "trimmed_mean",
+    "norm_clipped_fedavg",
+    "krum",
+    "multi_krum",
+    "make_aggregator",
+    "state_delta",
+    "apply_delta",
+    "flatten_state",
+]
+
+
+def _check_compatible(states: Sequence[StateDict]) -> None:
+    """All state dicts must agree on keys *and* per-key shapes."""
+    if not states:
+        raise ValueError("aggregation needs at least one state dict")
+    first = states[0]
+    keys = set(first)
+    for state in states[1:]:
+        if set(state) != keys:
+            raise ValueError("state dicts have mismatched keys")
+        for key in first:
+            if state[key].shape != first[key].shape:
+                raise ValueError(
+                    f"state dicts have mismatched shapes for key {key!r}: "
+                    f"{first[key].shape} vs {state[key].shape}"
+                )
+
+
+def _normalized_weights(
+    weights: Optional[Sequence[float]], count: int
+) -> np.ndarray:
+    if weights is None:
+        return np.full(count, 1.0 / count)
+    weights_arr = np.asarray(weights, dtype=np.float64)
+    if len(weights_arr) != count:
+        raise ValueError("one weight per state dict required")
+    if (weights_arr < 0).any() or weights_arr.sum() <= 0:
+        raise ValueError("weights must be non-negative and sum to > 0")
+    return weights_arr / weights_arr.sum()
+
+
+def _cast_back(value: np.ndarray, like: np.ndarray) -> np.ndarray:
+    """Return ``value`` in ``like``'s dtype when it is floating.
+
+    Aggregation math runs in float64 for accuracy; the result must come back
+    in the parameters' own dtype so e.g. a float32 federation stays float32.
+    Non-floating arrays keep the float64 mean (an integer mean is generally
+    not representable in the input dtype).
+    """
+    if np.issubdtype(like.dtype, np.floating):
+        return value.astype(like.dtype)
+    return value
 
 
 def fedavg(states: Sequence[StateDict], weights: Optional[Sequence[float]] = None) -> StateDict:
     """Weighted average of state dicts.
 
     ``weights`` default to uniform; they are normalized internally, so
-    callers may pass raw sample counts.
+    callers may pass raw sample counts.  The merged arrays keep the incoming
+    floating dtype.
     """
-    if not states:
-        raise ValueError("fedavg needs at least one state dict")
-    keys = set(states[0])
-    for state in states[1:]:
-        if set(state) != keys:
-            raise ValueError("state dicts have mismatched keys")
-    if weights is None:
-        weights_arr = np.full(len(states), 1.0 / len(states))
-    else:
-        weights_arr = np.asarray(weights, dtype=np.float64)
-        if len(weights_arr) != len(states):
-            raise ValueError("one weight per state dict required")
-        if (weights_arr < 0).any() or weights_arr.sum() <= 0:
-            raise ValueError("weights must be non-negative and sum to > 0")
-        weights_arr = weights_arr / weights_arr.sum()
+    _check_compatible(states)
+    weights_arr = _normalized_weights(weights, len(states))
     merged: StateDict = {}
     for key in states[0]:
-        merged[key] = sum(
-            w * state[key] for w, state in zip(weights_arr, states)
-        ).astype(np.float64)
+        acc = np.zeros(states[0][key].shape, dtype=np.float64)
+        for w, state in zip(weights_arr, states):
+            acc += w * state[key].astype(np.float64, copy=False)
+        merged[key] = _cast_back(acc, states[0][key])
     return merged
+
+
+def coordinate_median(
+    states: Sequence[StateDict],
+    weights: Optional[Sequence[float]] = None,
+    *,
+    reference: Optional[StateDict] = None,
+) -> StateDict:
+    """Coordinate-wise median of the client states.
+
+    Robust to up to ``(n - 1) // 2`` arbitrarily-corrupted updates per
+    coordinate.  ``weights`` and ``reference`` are ignored (accepted for
+    signature uniformity): a robust rule must not honor attacker-controlled
+    sample counts.  For two states the median equals the unweighted mean.
+    """
+    _check_compatible(states)
+    merged: StateDict = {}
+    for key in states[0]:
+        stacked = np.stack(
+            [state[key].astype(np.float64, copy=False) for state in states]
+        )
+        merged[key] = _cast_back(np.median(stacked, axis=0), states[0][key])
+    return merged
+
+
+def trimmed_mean(
+    states: Sequence[StateDict],
+    weights: Optional[Sequence[float]] = None,
+    *,
+    trim_fraction: float = 0.1,
+    reference: Optional[StateDict] = None,
+) -> StateDict:
+    """Coordinate-wise mean after trimming the extremes.
+
+    Per coordinate, the ``floor(trim_fraction * n)`` smallest and largest
+    values are dropped and the rest averaged (unweighted; see
+    :func:`coordinate_median` for why).  ``trim_fraction=0`` degenerates to
+    the plain mean.
+    """
+    _check_compatible(states)
+    if not 0.0 <= trim_fraction < 0.5:
+        raise ValueError("trim_fraction must be in [0, 0.5)")
+    n = len(states)
+    k = int(trim_fraction * n)
+    if n - 2 * k < 1:
+        raise ValueError(
+            f"trim_fraction={trim_fraction:g} trims all {n} updates; "
+            "need at least one survivor per coordinate"
+        )
+    merged: StateDict = {}
+    for key in states[0]:
+        stacked = np.stack(
+            [state[key].astype(np.float64, copy=False) for state in states]
+        )
+        trimmed = np.sort(stacked, axis=0)[k : n - k] if k else stacked
+        merged[key] = _cast_back(trimmed.mean(axis=0), states[0][key])
+    return merged
+
+
+def norm_clipped_fedavg(
+    states: Sequence[StateDict],
+    weights: Optional[Sequence[float]] = None,
+    *,
+    reference: Optional[StateDict] = None,
+    clip_norm: Optional[float] = None,
+) -> StateDict:
+    """FedAvg over per-update deltas clipped to a bounded L2 norm.
+
+    Each update's delta from ``reference`` (the broadcast global state) is
+    scaled down to at most ``clip_norm`` before the weighted average, so no
+    single client can move the model further than the bound.  ``clip_norm=
+    None`` clips at the round's *median* delta norm — scale-free, and a
+    boosted replacement attack is cut to a typical honest magnitude.
+    """
+    _check_compatible(states)
+    if reference is None:
+        raise ValueError("norm_clipped_fedavg requires the reference (global) state")
+    if clip_norm is not None and clip_norm <= 0:
+        raise ValueError("clip_norm must be positive")
+    _check_compatible([states[0], reference])
+    weights_arr = _normalized_weights(weights, len(states))
+    deltas = [
+        {
+            key: state[key].astype(np.float64, copy=False)
+            - reference[key].astype(np.float64, copy=False)
+            for key in state
+        }
+        for state in states
+    ]
+    norms = np.array([np.linalg.norm(flatten_state(delta)) for delta in deltas])
+    bound = float(np.median(norms)) if clip_norm is None else float(clip_norm)
+    factors = np.ones(len(states))
+    positive = norms > 0
+    factors[positive] = np.minimum(1.0, bound / norms[positive])
+    merged: StateDict = {}
+    for key in states[0]:
+        acc = reference[key].astype(np.float64, copy=False).copy()
+        for w, factor, delta in zip(weights_arr, factors, deltas):
+            acc += w * factor * delta[key]
+        merged[key] = _cast_back(acc, states[0][key])
+    return merged
+
+
+def _krum_scores(states: Sequence[StateDict], num_byzantine: Optional[int]) -> np.ndarray:
+    """Krum score per state: sum of its ``n - f - 2`` smallest squared
+    distances to the other states (lower is better)."""
+    n = len(states)
+    f = (max(0, (n - 3) // 2)) if num_byzantine is None else int(num_byzantine)
+    if f < 0:
+        raise ValueError("num_byzantine must be non-negative")
+    if f > max(0, n - 3):
+        raise ValueError(
+            f"krum with {n} updates tolerates at most f={max(0, n - 3)} "
+            f"Byzantine clients (needs n >= f + 3), got f={f}"
+        )
+    flat = np.stack([flatten_state(state).astype(np.float64) for state in states])
+    # Pairwise squared distances via the Gram expansion (O(n^2 d)).
+    squared_norms = np.einsum("ij,ij->i", flat, flat)
+    distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * flat @ flat.T
+    np.fill_diagonal(distances, np.inf)
+    distances = np.maximum(distances, 0.0)
+    neighbors = max(0, n - f - 2)
+    if neighbors == 0:
+        return np.zeros(n)
+    sorted_distances = np.sort(distances, axis=1)
+    return sorted_distances[:, :neighbors].sum(axis=1)
+
+
+def krum(
+    states: Sequence[StateDict],
+    weights: Optional[Sequence[float]] = None,
+    *,
+    num_byzantine: Optional[int] = None,
+    reference: Optional[StateDict] = None,
+) -> StateDict:
+    """Krum (Blanchard et al.): adopt the single most central update.
+
+    ``num_byzantine`` is the assumed Byzantine count ``f``; ``None`` uses
+    the maximal tolerable ``f = (n - 3) // 2``.  ``weights``/``reference``
+    are ignored.
+    """
+    _check_compatible(states)
+    scores = _krum_scores(states, num_byzantine)
+    winner = int(np.argmin(scores))
+    return {key: value.copy() for key, value in states[winner].items()}
+
+
+def multi_krum(
+    states: Sequence[StateDict],
+    weights: Optional[Sequence[float]] = None,
+    *,
+    num_byzantine: Optional[int] = None,
+    num_selected: Optional[int] = None,
+    reference: Optional[StateDict] = None,
+) -> StateDict:
+    """Multi-Krum: average the ``m`` best-scored updates.
+
+    ``num_selected=None`` uses ``m = max(1, n - f - 2)``, the selection-set
+    bound of the Krum paper.  Selected updates are averaged *unweighted*.
+    """
+    _check_compatible(states)
+    scores = _krum_scores(states, num_byzantine)
+    n = len(states)
+    f = (max(0, (n - 3) // 2)) if num_byzantine is None else int(num_byzantine)
+    m = max(1, n - f - 2) if num_selected is None else int(num_selected)
+    if not 1 <= m <= n:
+        raise ValueError(f"num_selected must be in [1, {n}]")
+    selected = np.argsort(scores, kind="stable")[:m]
+    return fedavg([states[i] for i in selected])
+
+
+def make_aggregator(
+    name: str,
+    *,
+    trim_fraction: float = 0.1,
+    clip_norm: Optional[float] = None,
+    num_byzantine: Optional[int] = None,
+) -> Aggregator:
+    """Bind an aggregator name and its options into a uniform callable.
+
+    The result accepts ``(states, weights=None, reference=None)`` — the
+    server's calling convention — with the rule-specific options closed
+    over.  Unknown names raise ``ValueError`` (valid names: ``AGGREGATORS``).
+    """
+    if name == "fedavg":
+        return lambda states, weights=None, reference=None: fedavg(states, weights)
+    if name == "median":
+        return lambda states, weights=None, reference=None: coordinate_median(states)
+    if name == "trimmed_mean":
+        return lambda states, weights=None, reference=None: trimmed_mean(
+            states, trim_fraction=trim_fraction
+        )
+    if name == "norm_clip":
+        return lambda states, weights=None, reference=None: norm_clipped_fedavg(
+            states, weights, reference=reference, clip_norm=clip_norm
+        )
+    if name == "krum":
+        return lambda states, weights=None, reference=None: krum(
+            states, num_byzantine=num_byzantine
+        )
+    if name == "multi_krum":
+        return lambda states, weights=None, reference=None: multi_krum(
+            states, num_byzantine=num_byzantine
+        )
+    raise ValueError(f"unknown aggregator {name!r}; expected one of {AGGREGATORS}")
 
 
 def state_delta(new: StateDict, old: StateDict) -> StateDict:
     """Per-parameter update ``new - old`` (what a gradient-leakage adversary sees)."""
-    if set(new) != set(old):
-        raise ValueError("state dicts have mismatched keys")
+    _check_compatible([new, old])
     return {key: new[key] - old[key] for key in new}
 
 
 def apply_delta(base: StateDict, delta: StateDict, scale: float = 1.0) -> StateDict:
     """Return ``base + scale * delta``."""
-    if set(base) != set(delta):
-        raise ValueError("state dicts have mismatched keys")
+    _check_compatible([base, delta])
     return {key: base[key] + scale * delta[key] for key in base}
 
 
 def flatten_state(state: StateDict) -> np.ndarray:
     """Concatenate all arrays (sorted by key) into one vector.
 
-    Used by parameter-based attacks and by tests asserting aggregation
-    linearity.
+    Used by parameter-based attacks, the Krum distance geometry, update
+    screening, and by tests asserting aggregation linearity.
     """
     return np.concatenate([state[key].reshape(-1) for key in sorted(state)])

@@ -52,14 +52,15 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import monotonic
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.config import FaultConfig
+from repro.core.config import ByzantineConfig, FaultConfig
 from repro.fl.client import ClientMutableState, ClientUpdate, FLClient
+from repro.fl.malicious import ByzantineInjector
 from repro.fl.faults import (
     NO_FAULT,
     ClientFailure,
@@ -137,12 +138,14 @@ class RoundExecutor(ABC):
 
     name = "abstract"
 
-    # Policy defaults (fail-fast) for subclasses that never configure.
+    # Policy defaults (fail-fast, honest clients) for subclasses that never
+    # configure.
     fault_injector: Optional[FaultInjector] = None
     max_retries: int = 0
     backoff: RetryBackoff = RetryBackoff()
     client_timeout: Optional[float] = None
     min_participation: float = 1.0
+    byzantine: Optional[ByzantineInjector] = None
 
     def _configure_fault_tolerance(
         self,
@@ -151,6 +154,7 @@ class RoundExecutor(ABC):
         backoff: Optional[RetryBackoff],
         client_timeout: Optional[float],
         min_participation: float,
+        byzantine: Optional[ByzantineInjector] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
@@ -163,6 +167,37 @@ class RoundExecutor(ABC):
         self.backoff = backoff or RetryBackoff()
         self.client_timeout = client_timeout
         self.min_participation = float(min_participation)
+        self.byzantine = byzantine
+
+    def _byzantine_reference(self, server) -> Optional[StateDict]:
+        """The honest pre-round global state the delta attacks operate on.
+
+        Fetched once per round (coordinator side, never through the
+        ``broadcast_hook``) so corruption is identical on every backend.
+        """
+        return server.global_state() if self.byzantine is not None else None
+
+    def _corrupt_update(
+        self,
+        round_index: int,
+        update: ClientUpdate,
+        reference: Optional[StateDict],
+    ) -> ClientUpdate:
+        """Apply the client's scheduled Byzantine attack to its update.
+
+        Called at the single point a successful update is collected — after
+        honest local training, after any retries — so the attack is a pure
+        function of ``(round, client)`` and the honest result.  The client
+        object's own mutable state stays honest.
+        """
+        if self.byzantine is None:
+            return update
+        state = self.byzantine.corrupt(
+            round_index, update.client_id, update.state, reference
+        )
+        if state is update.state:
+            return update
+        return replace(update, state=state)
 
     @property
     def _tolerant(self) -> bool:
@@ -256,14 +291,17 @@ class SequentialExecutor(RoundExecutor):
         backoff: Optional[RetryBackoff] = None,
         client_timeout: Optional[float] = None,
         min_participation: float = 1.0,
+        byzantine: Optional[ByzantineInjector] = None,
     ) -> None:
         self._configure_fault_tolerance(
-            fault_injector, max_retries, backoff, client_timeout, min_participation
+            fault_injector, max_retries, backoff, client_timeout, min_participation,
+            byzantine,
         )
 
     def execute(self, participants: Sequence[FLClient], server) -> RoundExecution:
         round_index = server.round
         tolerant = self._tolerant
+        reference = self._byzantine_reference(server)
         op_before = _get_op_stats() if _op_profiling_enabled() else None
         results: List[ClientExecution] = []
         failures: List[ClientFailure] = []
@@ -307,6 +345,7 @@ class SequentialExecutor(RoundExecutor):
                 except Exception as exc:
                     failure_kind, retriable, error = "error", True, repr(exc)
                 else:
+                    update = self._corrupt_update(round_index, update, reference)
                     bytes_aggregated += state_dict_nbytes(update.state)
                     results.append(
                         ClientExecution(update=update, compute_seconds=watch.elapsed)
@@ -446,6 +485,7 @@ class ParallelExecutor(RoundExecutor):
         client_timeout: Optional[float] = None,
         min_participation: float = 1.0,
         max_pool_respawns: int = 2,
+        byzantine: Optional[ByzantineInjector] = None,
     ) -> None:
         resolved = num_workers or os.cpu_count() or 1
         if resolved < 1:
@@ -455,7 +495,8 @@ class ParallelExecutor(RoundExecutor):
         if max_pool_respawns < 0:
             raise ValueError("max_pool_respawns must be non-negative")
         self._configure_fault_tolerance(
-            fault_injector, max_retries, backoff, client_timeout, min_participation
+            fault_injector, max_retries, backoff, client_timeout, min_participation,
+            byzantine,
         )
         self.num_workers = int(resolved)
         self.wire_dtype = wire_dtype
@@ -558,6 +599,7 @@ class ParallelExecutor(RoundExecutor):
             )
         round_index = server.round
         tolerant = self._tolerant
+        reference = self._byzantine_reference(server)
         op_before = _get_op_stats() if _op_profiling_enabled() else None
         by_id = {client.client_id: client for client in participants}
         payloads, bytes_broadcast = self._broadcast_payloads(participants, server)
@@ -730,6 +772,10 @@ class ParallelExecutor(RoundExecutor):
                         num_samples=outcome.num_samples,
                         train_loss=outcome.train_loss,
                     )
+                    # Corruption happens coordinator-side (identical code
+                    # path to the sequential engine) so both backends poison
+                    # bit-identically; the worker trained honestly.
+                    update = self._corrupt_update(round_index, update, reference)
                     completed[cid] = ClientExecution(
                         update=update, compute_seconds=outcome.compute_seconds
                     )
@@ -772,20 +818,32 @@ def make_executor(
     max_pool_respawns: int = 2,
     fault_config: Optional[FaultConfig] = None,
     fault_injector: Optional[FaultInjector] = None,
+    byzantine_config: Optional[ByzantineConfig] = None,
+    byzantine_injector: Optional[ByzantineInjector] = None,
 ) -> RoundExecutor:
     """Build a round executor from plain configuration values.
 
     ``fault_config`` builds a seeded :class:`FaultInjector`; pass
-    ``fault_injector`` instead for a scripted plan (tests).
+    ``fault_injector`` instead for a scripted plan (tests).  Likewise
+    ``byzantine_config`` builds a :class:`ByzantineInjector` while
+    ``byzantine_injector`` accepts a pre-built one (e.g. with a per-client
+    plan of heterogeneous attacks).
     """
     if fault_injector is None and fault_config is not None and fault_config.enabled:
         fault_injector = FaultInjector(fault_config)
+    if (
+        byzantine_injector is None
+        and byzantine_config is not None
+        and byzantine_config.enabled
+    ):
+        byzantine_injector = ByzantineInjector(byzantine_config)
     policy = dict(
         fault_injector=fault_injector,
         max_retries=max_retries,
         backoff=backoff,
         client_timeout=client_timeout,
         min_participation=min_participation,
+        byzantine=byzantine_injector,
     )
     if backend == "sequential":
         return SequentialExecutor(**policy)

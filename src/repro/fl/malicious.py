@@ -1,6 +1,8 @@
-"""Malicious-server instrumentation (threat model of Nasr et al.).
+"""Malicious-participant instrumentation.
 
-The paper's internal adversary is a malicious server, which can:
+Two adversary classes of the paper's threat model live here:
+
+**Malicious server** (Nasr et al.) — it can
 
 * **passively** record every client's local model at chosen rounds — the
   simulation's ``snapshot_rounds`` already captures this; and
@@ -12,18 +14,32 @@ The paper's internal adversary is a malicious server, which can:
 :class:`GradientAscentHook` implements the active tampering as a server
 ``broadcast_hook``; the inference logic that consumes the resulting
 observations lives in :mod:`repro.attacks.internal`.
+
+**Malicious clients** (Byzantine participants) — they train honestly, then
+corrupt the state dict they *return* to the server.  :class:`
+ByzantineInjector` decides, like the fault layer's ``FaultInjector``, from
+``(seed, round, client)`` alone which attack (if any) hits an update, so the
+attack schedule is bit-identical across the sequential and process backends
+and across checkpoint resume.  The round executors apply the corruption on
+the coordinator side right where a successful update is collected — the
+client's *own* local state stays honest, exactly the boosted-replacement
+setting where the attacker keeps training like everyone else but poisons
+the wire.  Defenses live in :mod:`repro.fl.robust` (server-side screening)
+and :mod:`repro.fl.aggregation` (robust aggregators).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Mapping, Optional
 
 import numpy as np
 
+from repro.core.config import BYZANTINE_ATTACKS, ByzantineConfig
 from repro.nn.layers import Module
 from repro.nn.losses import cross_entropy
 from repro.nn.serialization import clone_state_dict
 from repro.nn.tensor import Tensor
+from repro.utils.rng import derive_rng
 
 StateDict = Dict[str, np.ndarray]
 ForwardFn = Callable[[Module, np.ndarray], Tensor]
@@ -93,6 +109,115 @@ class GradientAscentHook:
                     param.data = param.data + self.ascent_lr * param.grad
         self.tampered_rounds.append(round_index)
         return clone_state_dict(self._model.state_dict())
+
+
+def corrupt_state(
+    kind: str,
+    state: StateDict,
+    *,
+    reference: Optional[StateDict] = None,
+    scale: float = 10.0,
+    noise_std: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> StateDict:
+    """Apply one Byzantine attack to an honestly-trained state dict.
+
+    ``reference`` is the round's broadcast global state; the delta-based
+    attacks (``sign_flip``, ``model_replacement``) operate on
+    ``state - reference`` and fall back to attacking the raw state when no
+    reference is available.  Keys are processed in sorted order so the
+    ``gaussian_noise`` draws are independent of dict insertion order; every
+    returned array keeps its original dtype, and non-floating arrays pass
+    through untouched (integer buffers cannot encode NaN).
+    """
+    if kind not in BYZANTINE_ATTACKS:
+        raise ValueError(f"kind must be one of {BYZANTINE_ATTACKS}")
+    if kind == "none":
+        return state
+    if kind == "gaussian_noise" and rng is None:
+        rng = np.random.default_rng()
+    corrupted: StateDict = {}
+    for key in sorted(state):
+        array = state[key]
+        if not np.issubdtype(array.dtype, np.floating):
+            corrupted[key] = array.copy()
+            continue
+        ref = reference.get(key) if reference is not None else None
+        if kind == "sign_flip":
+            # Return reference - delta: the honest update direction, negated.
+            value = 2.0 * ref - array if ref is not None else -array
+        elif kind == "model_replacement":
+            value = ref + scale * (array - ref) if ref is not None else scale * array
+        elif kind == "gaussian_noise":
+            value = array + rng.normal(0.0, noise_std, size=array.shape)
+        else:  # nan_bomb
+            value = np.full(array.shape, np.nan)
+            if value.size:
+                value.flat[0] = np.inf
+        corrupted[key] = np.asarray(value).astype(array.dtype, copy=False)
+    return corrupted
+
+
+class ByzantineInjector:
+    """Seeded, stateless malicious-client oracle for the round executors.
+
+    Parameters
+    ----------
+    config:
+        Which clients attack, how, and the root seed of the noise stream.
+    plan:
+        Optional per-client attack overrides ``{client_id: kind}`` for
+        heterogeneous adversaries (e.g. one sign-flipper plus one boosted
+        replacer).  Clients absent from the plan fall back to the config's
+        ``clients``/``attack``; ``config.start_round`` gates both.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ByzantineConfig] = None,
+        plan: Optional[Mapping[int, str]] = None,
+    ) -> None:
+        self.config = config or ByzantineConfig()
+        self.plan = dict(plan) if plan else {}
+        for kind in self.plan.values():
+            if kind not in BYZANTINE_ATTACKS:
+                raise ValueError(f"plan kinds must be one of {BYZANTINE_ATTACKS}")
+
+    def attack_kind(self, round_index: int, client_id: int) -> str:
+        """The attack this client mounts this round (``"none"`` = honest)."""
+        if round_index < self.config.start_round:
+            return "none"
+        planned = self.plan.get(client_id)
+        if planned is not None:
+            return planned
+        if client_id in self.config.clients:
+            return self.config.attack
+        return "none"
+
+    def corrupt(
+        self,
+        round_index: int,
+        client_id: int,
+        state: StateDict,
+        reference: Optional[StateDict] = None,
+    ) -> StateDict:
+        """Corrupt one returned update (the input ``state`` when honest).
+
+        Noise is derived statelessly from ``(seed, round, client)`` — the
+        corrupted update is a pure function of the honest update and the
+        triple, regardless of backend, retry count, or call order.
+        """
+        kind = self.attack_kind(round_index, client_id)
+        if kind == "none":
+            return state
+        return corrupt_state(
+            kind,
+            state,
+            reference=reference,
+            scale=self.config.scale,
+            noise_std=self.config.noise_std,
+            rng=derive_rng(self.config.seed, "byzantine", round_index, client_id),
+        )
 
 
 def per_sample_losses_of_state(

@@ -1,0 +1,173 @@
+"""Server-side screening of incoming client updates.
+
+FedAvg aggregates whatever the clients return; one NaN-poisoned or
+sign-flipped state dict corrupts the global model for everyone.  This module
+is the server's first line of defense: every update is validated *before*
+aggregation and flagged clients are quarantined for the round.
+
+:func:`screen_updates` applies up to four independent rules (configured by
+:class:`~repro.core.config.ScreeningConfig`):
+
+1. **finiteness** — any NaN/Inf coordinate rejects the update outright;
+2. **absolute norm bound** — the L2 norm of the update's delta from the
+   broadcast state must not exceed ``max_delta_norm``;
+3. **relative norm bound** — deltas larger than ``norm_multiplier`` times
+   the round's *median* delta norm are rejected (scale-free; catches boosted
+   model-replacement without tuning an absolute bound);
+4. **distance/direction outliers** — each delta's distance to the
+   coordinate-wise *median delta* (a robust center a Byzantine minority
+   cannot move) is normalized by the median of those distances into an
+   anomaly score; scores above ``outlier_threshold`` — or deltas whose
+   cosine similarity to the median delta falls below ``min_cosine`` — are
+   rejected.  Sign-flipped updates keep an honest-looking norm but sit far
+   from the median delta, with cosine near -1.
+
+Every statistic is computed over the full update set in one pass, so the
+decision for a client is independent of iteration order — screening is
+permutation-invariant and bit-identical across execution backends, and a
+checkpoint-resumed round reproduces the same quarantine decisions.
+
+Rejected clients count against the server's ``min_participation`` quorum
+(they delivered no usable update); per-client reasons and anomaly scores
+surface in ``RoundMetrics.rejected_clients`` / ``anomaly_scores``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import ScreeningConfig
+from repro.fl.aggregation import flatten_state
+from repro.fl.client import ClientUpdate
+from repro.utils.logging import get_logger
+
+StateDict = Dict[str, np.ndarray]
+_log = get_logger("fl.robust")
+
+#: Guard against division by an exactly-zero robust scale (identical updates).
+_EPS = 1e-12
+
+#: Reasons screening can quarantine a client, in rule order.
+REJECT_REASONS = (
+    "shape_mismatch",
+    "non_finite",
+    "norm_bound",
+    "norm_outlier",
+    "distance_outlier",
+    "direction",
+)
+
+
+@dataclass
+class ScreeningReport:
+    """Outcome of screening one round's updates.
+
+    ``scores`` holds every screened client's anomaly score (distance to the
+    median delta over the median such distance; ``inf`` for non-finite
+    updates), not just the rejected ones — the telemetry a deployment would
+    alert on before an attacker crosses the threshold.
+    """
+
+    accepted: List[ClientUpdate] = field(default_factory=list)
+    rejected: Dict[int, str] = field(default_factory=dict)
+    scores: Dict[int, float] = field(default_factory=dict)
+    delta_norms: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def num_screened(self) -> int:
+        return len(self.accepted) + len(self.rejected)
+
+
+def screen_updates(
+    updates: Sequence[ClientUpdate],
+    reference: StateDict,
+    config: Optional[ScreeningConfig] = None,
+) -> ScreeningReport:
+    """Validate a round's updates against the broadcast ``reference`` state.
+
+    Returns a :class:`ScreeningReport`; never raises on malicious content —
+    deciding whether the surviving set meets quorum is the server's job.
+    """
+    config = config or ScreeningConfig()
+    report = ScreeningReport()
+    flat_reference = flatten_state(reference).astype(np.float64, copy=False)
+
+    deltas: Dict[int, np.ndarray] = {}
+    finite_ids: List[int] = []
+    for update in updates:
+        flat = flatten_state(update.state).astype(np.float64, copy=False)
+        if flat.shape != flat_reference.shape:
+            report.rejected[update.client_id] = "shape_mismatch"
+            report.scores[update.client_id] = float("inf")
+            continue
+        if not np.all(np.isfinite(flat)):
+            report.rejected[update.client_id] = "non_finite"
+            report.scores[update.client_id] = float("inf")
+            continue
+        delta = flat - flat_reference
+        deltas[update.client_id] = delta
+        report.delta_norms[update.client_id] = float(np.linalg.norm(delta))
+        finite_ids.append(update.client_id)
+
+    norms = np.array([report.delta_norms[cid] for cid in finite_ids])
+    statistical = len(finite_ids) >= config.min_updates
+    median_norm = float(np.median(norms)) if statistical else 0.0
+
+    # Distance-based anomaly scores against the coordinate-wise median
+    # delta.  Computed for every finite update (telemetry) even when the
+    # rejection rule is disabled.
+    scores = {cid: 0.0 for cid in finite_ids}
+    cosines = {cid: 1.0 for cid in finite_ids}
+    if statistical:
+        matrix = np.stack([deltas[cid] for cid in finite_ids])
+        center = np.median(matrix, axis=0)
+        center_norm = float(np.linalg.norm(center))
+        residuals = np.linalg.norm(matrix - center[None, :], axis=1)
+        scale = max(float(np.median(residuals)), _EPS)
+        for cid, residual, delta in zip(finite_ids, residuals, matrix):
+            scores[cid] = float(residual / scale)
+            denominator = float(np.linalg.norm(delta)) * center_norm
+            cosines[cid] = (
+                float(delta @ center / denominator) if denominator > _EPS else 1.0
+            )
+    report.scores.update(scores)
+
+    by_id = {update.client_id: update for update in updates}
+    for cid in finite_ids:
+        norm = report.delta_norms[cid]
+        if config.max_delta_norm is not None and norm > config.max_delta_norm:
+            report.rejected[cid] = "norm_bound"
+        elif (
+            statistical
+            and config.norm_multiplier > 0
+            and norm > config.norm_multiplier * max(median_norm, _EPS)
+        ):
+            report.rejected[cid] = "norm_outlier"
+        elif (
+            statistical
+            and config.outlier_threshold > 0
+            and scores[cid] > config.outlier_threshold
+        ):
+            report.rejected[cid] = "distance_outlier"
+        elif (
+            statistical
+            and config.min_cosine is not None
+            and cosines[cid] < config.min_cosine
+        ):
+            report.rejected[cid] = "direction"
+        else:
+            report.accepted.append(by_id[cid])
+
+    if report.rejected:
+        _log.warning(
+            "screening quarantined %d/%d updates (%s)",
+            len(report.rejected),
+            len(updates),
+            ", ".join(
+                f"client {cid}: {reason}" for cid, reason in sorted(report.rejected.items())
+            ),
+        )
+    return report

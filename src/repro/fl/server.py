@@ -1,20 +1,35 @@
 """The FL parameter server.
 
-Holds the canonical global model, aggregates client updates with FedAvg, and
+Holds the canonical global model, aggregates client updates (FedAvg by
+default, or one of the robust rules in :mod:`repro.fl.aggregation`), and
 exposes a ``broadcast_hook`` so the malicious-server attacks of Nasr et al.
 (see :mod:`repro.fl.malicious`) can tamper with what a victim client receives
 without changing the honest code path.
+
+Against *malicious clients* the server has two optional defenses that
+compose:
+
+* **update screening** (:mod:`repro.fl.robust`) — every incoming state dict
+  is validated against the round's broadcast state before aggregation;
+  quarantined clients count against the ``min_participation`` quorum and
+  the report lands in :attr:`FLServer.last_screening` for telemetry;
+* **robust aggregation** — the ``aggregator`` knob swaps FedAvg for
+  coordinate-wise median, trimmed mean, norm-clipped FedAvg, or
+  Krum/Multi-Krum, bounding a Byzantine minority's influence even when it
+  slips past screening.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.fl.aggregation import fedavg
+from repro.core.config import ScreeningConfig
+from repro.fl.aggregation import Aggregator, make_aggregator
 from repro.fl.client import ClientUpdate, ModelFactory
+from repro.fl.robust import ScreeningReport, screen_updates
 from repro.nn.layers import Module
 from repro.nn.serialization import clone_state_dict
 
@@ -23,12 +38,46 @@ BroadcastHook = Callable[[int, int, StateDict], StateDict]
 
 
 class FLServer:
-    """FedAvg parameter server."""
+    """Parameter server with pluggable (optionally Byzantine-robust)
+    aggregation and optional update screening.
 
-    def __init__(self, model_factory: ModelFactory) -> None:
+    ``aggregator`` is a name from :data:`repro.core.config.AGGREGATORS`
+    (options via ``aggregator_options``, see
+    :func:`repro.fl.aggregation.make_aggregator`) or an already-bound
+    callable ``(states, weights=None, reference=None) -> StateDict``.
+    ``screening=None`` (default) trusts every update, preserving the paper's
+    behaviour.
+    """
+
+    def __init__(
+        self,
+        model_factory: ModelFactory,
+        aggregator: Union[str, Aggregator] = "fedavg",
+        aggregator_options: Optional[Dict[str, object]] = None,
+        screening: Optional[ScreeningConfig] = None,
+    ) -> None:
         self.model: Module = model_factory()
         self._round = 0
         self.broadcast_hook: Optional[BroadcastHook] = None
+        self.screening = screening
+        #: Screening outcome of the most recent :meth:`aggregate` call
+        #: (``None`` when screening is disabled); consumed by the
+        #: simulation's round telemetry.
+        self.last_screening: Optional[ScreeningReport] = None
+        self.set_aggregator(aggregator, **(aggregator_options or {}))
+
+    def set_aggregator(
+        self, aggregator: Union[str, Aggregator], **options: object
+    ) -> None:
+        """Swap the aggregation rule (by registry name or bound callable)."""
+        if callable(aggregator):
+            if options:
+                raise ValueError("options only apply to aggregator names")
+            self.aggregator_name = getattr(aggregator, "__name__", "custom")
+            self._aggregate = aggregator
+        else:
+            self.aggregator_name = aggregator
+            self._aggregate = make_aggregator(aggregator, **options)
 
     @property
     def round(self) -> int:
@@ -50,32 +99,57 @@ class FLServer:
         expected_participants: Optional[int] = None,
         min_participation: float = 1.0,
     ) -> StateDict:
-        """FedAvg the round's client updates into the global model.
+        """Aggregate the round's client updates into the global model.
 
         The update set may be a *subset* of the round's selected clients
-        (fault-tolerant rounds drop stragglers and crashed clients);
-        :func:`~repro.fl.aggregation.fedavg` re-weights the survivors by
-        ``num_samples``, so partial aggregation stays a correctly-weighted
-        average.  When ``expected_participants`` is given, the server
-        additionally enforces the ``min_participation`` quorum — a safety
-        net against an executor handing over a pathologically small
-        survivor set.
+        (fault-tolerant rounds drop stragglers and crashed clients); FedAvg
+        re-weights the survivors by ``num_samples``, so partial aggregation
+        stays a correctly-weighted average.  With screening enabled, updates
+        are validated against this round's broadcast state first and
+        quarantined clients are excluded.  When ``expected_participants`` is
+        given, the server additionally enforces the ``min_participation``
+        quorum over the *accepted* set — both benign drops and adversarial
+        quarantines count against it.
         """
         if not updates:
             raise ValueError("no updates to aggregate")
         if not 0.0 < min_participation <= 1.0:
             raise ValueError("min_participation must be in (0, 1]")
+        reference = self.global_state()
+        if self.screening is not None:
+            self.last_screening = screen_updates(updates, reference, self.screening)
+            accepted = self.last_screening.accepted
+        else:
+            self.last_screening = None
+            accepted = list(updates)
         if expected_participants is not None:
             required = max(1, math.ceil(min_participation * expected_participants))
-            if len(updates) < required:
-                raise ValueError(
-                    f"refusing to aggregate {len(updates)}/{expected_participants} "
-                    f"updates: min_participation={min_participation:g} requires "
-                    f"{required}"
+            if len(accepted) < required:
+                rejected = (
+                    self.last_screening.rejected if self.last_screening else {}
                 )
-        merged = fedavg(
-            [update.state for update in updates],
-            weights=[update.num_samples for update in updates],
+                detail = (
+                    "; screening rejected "
+                    + ", ".join(
+                        f"client {cid}: {reason}"
+                        for cid, reason in sorted(rejected.items())
+                    )
+                    if rejected
+                    else ""
+                )
+                raise ValueError(
+                    f"refusing to aggregate {len(accepted)}/{expected_participants} "
+                    f"updates: min_participation={min_participation:g} requires "
+                    f"{required}{detail}"
+                )
+        if not accepted:
+            raise ValueError(
+                "screening rejected every update this round; nothing to aggregate"
+            )
+        merged = self._aggregate(
+            [update.state for update in accepted],
+            weights=[update.num_samples for update in accepted],
+            reference=reference,
         )
         self.model.load_state_dict(merged)
         self._round += 1

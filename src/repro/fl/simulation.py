@@ -71,6 +71,13 @@ class RoundMetrics:
     dropped_clients: Dict[int, str] = field(default_factory=dict)
     #: Surviving clients that needed retries, mapped to the retry count.
     retried_clients: Dict[int, int] = field(default_factory=dict)
+    #: Clients quarantined by server-side update screening this round,
+    #: mapped to the rejection reason (see ``repro.fl.robust.REJECT_REASONS``).
+    rejected_clients: Dict[int, str] = field(default_factory=dict)
+    #: Anomaly score of every *screened* client (not just rejected ones) —
+    #: distance to the round's median delta over the median such distance;
+    #: ``inf`` flags non-finite updates.  Empty when screening is off.
+    anomaly_scores: Dict[int, float] = field(default_factory=dict)
     #: Per-op counter deltas for the round when op profiling is enabled
     #: (see :mod:`repro.nn.diagnostics`); empty otherwise.
     op_stats: Dict[str, "OpStat"] = field(default_factory=dict)
@@ -136,6 +143,19 @@ class FLHistory:
         counts: Dict[int, int] = {}
         for metrics in self.round_metrics:
             for client_id in metrics.dropped_clients:
+                counts[client_id] = counts.get(client_id, 0) + 1
+        return counts
+
+    def rejected_client_rounds(self) -> Dict[int, int]:
+        """How many rounds each client was quarantined by update screening.
+
+        A client repeatedly rejected across rounds is the signal a real
+        deployment would act on (eviction, audit); honest clients should
+        appear here rarely if at all.
+        """
+        counts: Dict[int, int] = {}
+        for metrics in self.round_metrics:
+            for client_id in metrics.rejected_clients:
                 counts[client_id] = counts.get(client_id, 0) + 1
         return counts
 
@@ -246,6 +266,7 @@ class FederatedSimulation:
                 expected_participants=len(participants),
                 min_participation=self.executor.min_participation,
             )
+        screening = self.server.last_screening
         round_losses = {u.client_id: u.train_loss for u in updates}
         self.history.train_losses.append(round_losses)
         self.history.round_metrics.append(
@@ -263,6 +284,8 @@ class FederatedSimulation:
                     failure.client_id: failure.kind for failure in execution.failures
                 },
                 retried_clients=dict(execution.retries),
+                rejected_clients=dict(screening.rejected) if screening else {},
+                anomaly_scores=dict(screening.scores) if screening else {},
                 op_stats=execution.op_stats,
             )
         )

@@ -1,0 +1,249 @@
+"""Server-side update screening: rule coverage, invariance, telemetry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ScreeningConfig
+from repro.fl.client import ClientUpdate
+from repro.fl.malicious import ByzantineInjector, corrupt_state
+from repro.fl.robust import REJECT_REASONS, ScreeningReport, screen_updates
+
+
+def reference_state():
+    return {"w": np.zeros((4, 3)), "b": np.zeros(3)}
+
+
+def honest_update(client_id, seed=None, step=0.1):
+    rng = np.random.default_rng(100 + client_id if seed is None else seed)
+    reference = reference_state()
+    state = {
+        key: value + step * rng.normal(size=value.shape)
+        for key, value in reference.items()
+    }
+    return ClientUpdate(client_id=client_id, state=state, num_samples=10, train_loss=1.0)
+
+
+def with_state(update, state):
+    return ClientUpdate(
+        client_id=update.client_id,
+        state=state,
+        num_samples=update.num_samples,
+        train_loss=update.train_loss,
+    )
+
+
+class TestScreeningRules:
+    def test_honest_round_accepts_everyone(self):
+        updates = [honest_update(i) for i in range(6)]
+        report = screen_updates(updates, reference_state(), ScreeningConfig())
+        assert not report.rejected
+        assert [u.client_id for u in report.accepted] == list(range(6))
+        assert report.num_screened == 6
+        assert all(np.isfinite(score) for score in report.scores.values())
+
+    def test_nan_update_is_rejected(self):
+        updates = [honest_update(i) for i in range(5)]
+        bomb = corrupt_state("nan_bomb", updates[0].state)
+        updates[0] = with_state(updates[0], bomb)
+        report = screen_updates(updates, reference_state(), ScreeningConfig())
+        assert report.rejected == {0: "non_finite"}
+        assert report.scores[0] == float("inf")
+        assert len(report.accepted) == 4
+
+    def test_shape_mismatch_is_rejected(self):
+        updates = [honest_update(i) for i in range(4)]
+        updates[1] = with_state(updates[1], {"w": np.zeros((2, 2)), "b": np.zeros(1)})
+        report = screen_updates(updates, reference_state(), ScreeningConfig())
+        assert report.rejected == {1: "shape_mismatch"}
+
+    def test_absolute_norm_bound(self):
+        updates = [honest_update(i) for i in range(4)]
+        boosted = {k: 100.0 * v for k, v in updates[0].state.items()}
+        updates[0] = with_state(updates[0], boosted)
+        config = ScreeningConfig(
+            max_delta_norm=10.0, norm_multiplier=0.0, outlier_threshold=0.0
+        )
+        report = screen_updates(updates, reference_state(), config)
+        assert report.rejected == {0: "norm_bound"}
+
+    def test_relative_norm_outlier_catches_boosted_replacement(self):
+        updates = [honest_update(i) for i in range(6)]
+        boosted = corrupt_state(
+            "model_replacement", updates[2].state,
+            reference=reference_state(), scale=50.0,
+        )
+        updates[2] = with_state(updates[2], boosted)
+        report = screen_updates(updates, reference_state(), ScreeningConfig())
+        assert report.rejected.get(2) in ("norm_outlier", "distance_outlier")
+        assert len(report.accepted) == 5
+
+    def test_direction_rule_catches_sign_flip(self):
+        updates = [honest_update(i, step=0.1) for i in range(6)]
+        # Give the honest updates a shared drift so the median delta has a
+        # meaningful direction, then flip one client's sign.
+        drift = {k: 0.5 * np.ones_like(v) for k, v in reference_state().items()}
+        updates = [
+            with_state(u, {k: v + drift[k] for k, v in u.state.items()})
+            for u in updates
+        ]
+        flipped = corrupt_state(
+            "sign_flip", updates[0].state, reference=reference_state()
+        )
+        updates[0] = with_state(updates[0], flipped)
+        config = ScreeningConfig(
+            norm_multiplier=0.0, outlier_threshold=0.0, min_cosine=0.0
+        )
+        report = screen_updates(updates, reference_state(), config)
+        assert report.rejected == {0: "direction"}
+
+    def test_statistical_rules_need_min_updates(self):
+        # Two updates, one wildly larger: with min_updates=3 the relative
+        # rules stay off and both pass (absolute rules still apply).
+        updates = [honest_update(0), honest_update(1)]
+        boosted = {k: 1e3 * v for k, v in updates[1].state.items()}
+        updates[1] = with_state(updates[1], boosted)
+        report = screen_updates(
+            updates, reference_state(), ScreeningConfig(min_updates=3)
+        )
+        assert not report.rejected
+
+    def test_all_reasons_are_documented(self):
+        assert set(REJECT_REASONS) == {
+            "shape_mismatch",
+            "non_finite",
+            "norm_bound",
+            "norm_outlier",
+            "distance_outlier",
+            "direction",
+        }
+
+
+class TestScreeningInvariance:
+    def _poisoned_round(self):
+        updates = [honest_update(i) for i in range(8)]
+        updates[3] = with_state(
+            updates[3], corrupt_state("nan_bomb", updates[3].state)
+        )
+        updates[5] = with_state(
+            updates[5],
+            corrupt_state(
+                "model_replacement", updates[5].state,
+                reference=reference_state(), scale=40.0,
+            ),
+        )
+        return updates
+
+    def test_permutation_invariant_decisions(self):
+        updates = self._poisoned_round()
+        config = ScreeningConfig()
+        baseline = screen_updates(updates, reference_state(), config)
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            order = rng.permutation(len(updates))
+            shuffled = [updates[i] for i in order]
+            report = screen_updates(shuffled, reference_state(), config)
+            assert report.rejected == baseline.rejected
+            assert report.scores == baseline.scores
+            # Accepted updates come back in the caller's order.
+            assert [u.client_id for u in report.accepted] == [
+                updates[i].client_id
+                for i in order
+                if updates[i].client_id not in report.rejected
+            ]
+
+    def test_screening_is_deterministic(self):
+        updates = self._poisoned_round()
+        first = screen_updates(updates, reference_state(), ScreeningConfig())
+        second = screen_updates(updates, reference_state(), ScreeningConfig())
+        assert first.rejected == second.rejected
+        assert first.scores == second.scores
+        assert first.delta_norms == second.delta_norms
+
+
+class TestByzantineInjectorSchedule:
+    def test_schedule_is_deterministic_and_stateless(self):
+        from repro.core.config import ByzantineConfig
+
+        config = ByzantineConfig(
+            attack="gaussian_noise", clients=(1, 3), noise_std=0.5, seed=11
+        )
+        state = {"w": np.ones((3, 3)), "b": np.zeros(3)}
+        first = ByzantineInjector(config)
+        second = ByzantineInjector(config)
+        for round_index in range(3):
+            for client_id in range(4):
+                a = first.corrupt(round_index, client_id, state)
+                b = second.corrupt(round_index, client_id, state)
+                for key in state:
+                    assert np.array_equal(a[key], b[key])
+        # Honest clients pass through untouched (same object).
+        assert first.corrupt(0, 0, state) is state
+
+    def test_start_round_gates_the_attack(self):
+        from repro.core.config import ByzantineConfig
+
+        config = ByzantineConfig(attack="sign_flip", clients=(0,), start_round=2)
+        injector = ByzantineInjector(config)
+        assert injector.attack_kind(0, 0) == "none"
+        assert injector.attack_kind(1, 0) == "none"
+        assert injector.attack_kind(2, 0) == "sign_flip"
+
+    def test_plan_overrides_config(self):
+        from repro.core.config import ByzantineConfig
+
+        injector = ByzantineInjector(
+            ByzantineConfig(attack="sign_flip", clients=(0,)),
+            plan={1: "nan_bomb"},
+        )
+        assert injector.attack_kind(0, 0) == "sign_flip"
+        assert injector.attack_kind(0, 1) == "nan_bomb"
+        assert injector.attack_kind(0, 2) == "none"
+        with pytest.raises(ValueError, match="plan kinds"):
+            ByzantineInjector(plan={0: "meteor"})
+
+
+class TestCorruptState:
+    def test_sign_flip_negates_the_delta(self):
+        reference = reference_state()
+        state = {k: v + 1.0 for k, v in reference.items()}
+        flipped = corrupt_state("sign_flip", state, reference=reference)
+        for key in state:
+            np.testing.assert_allclose(flipped[key], reference[key] - 1.0)
+
+    def test_model_replacement_boosts_the_delta(self):
+        reference = reference_state()
+        state = {k: v + 1.0 for k, v in reference.items()}
+        boosted = corrupt_state(
+            "model_replacement", state, reference=reference, scale=5.0
+        )
+        for key in state:
+            np.testing.assert_allclose(boosted[key], reference[key] + 5.0)
+
+    def test_nan_bomb_is_non_finite(self):
+        state = {"w": np.ones((2, 2))}
+        bombed = corrupt_state("nan_bomb", state)
+        assert not np.isfinite(bombed["w"]).all()
+        assert np.isinf(bombed["w"]).any()
+
+    def test_preserves_dtype_and_skips_integers(self):
+        state = {
+            "w": np.ones((2, 2), dtype=np.float32),
+            "steps": np.array([3], dtype=np.int64),
+        }
+        for kind in ("sign_flip", "model_replacement", "gaussian_noise", "nan_bomb"):
+            out = corrupt_state(
+                kind, state, rng=np.random.default_rng(0)
+            )
+            assert out["w"].dtype == np.float32, kind
+            assert out["steps"].dtype == np.int64, kind
+            np.testing.assert_array_equal(out["steps"], state["steps"])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            corrupt_state("meteor", {"w": np.ones(2)})
+
+    def test_report_dataclass_counts(self):
+        report = ScreeningReport()
+        assert report.num_screened == 0
