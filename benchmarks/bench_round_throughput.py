@@ -1,8 +1,18 @@
-"""Round throughput: sequential vs process execution engines.
+"""Round throughput: execution engines and nn array backends.
 
-Measures FedAvg rounds/sec on a synthetic tabular federation at 2, 4, and 8
-clients for each backend and writes ``BENCH_round_throughput.json`` at the
-repo root — the baseline file future perf work diffs against.
+Two sweeps, one JSON:
+
+1. Sequential vs process execution on a synthetic tabular federation at
+   2, 4, and 8 clients (the original bench; row schema unchanged).
+2. ``nn_backend x compute_dtype`` on a conv-heavy image federation (VGG
+   stages — where im2col/GEMM dominates), comparing the numpy reference
+   against the workspace-cached AcceleratedBackend under both dtype
+   policies.  Rows reuse the same timing fields plus the configuration
+   axes and final test accuracy, so accuracy/throughput trade-offs are
+   recorded together.
+
+Writes ``BENCH_round_throughput.json`` at the repo root — the baseline
+file future perf work diffs against.
 
 Run directly (the usual way):
 
@@ -28,11 +38,17 @@ import time
 from pathlib import Path
 
 from repro.data.partition import partition_iid
-from repro.data.synthetic import TabularSpec, generate_tabular_dataset
+from repro.data.synthetic import (
+    ImageSpec,
+    TabularSpec,
+    generate_image_dataset,
+    generate_tabular_dataset,
+)
 from repro.fl.client import ClientConfig, FLClient
 from repro.fl.executor import make_executor
 from repro.fl.server import FLServer
 from repro.fl.simulation import FederatedSimulation
+from repro.nn.backend import use_backend
 from repro.nn.models import build_model
 from repro.utils.rng import derive_rng
 
@@ -44,6 +60,19 @@ WARMUP_ROUNDS = 1
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_round_throughput.json"
 
 _SPEC = TabularSpec(num_classes=8, num_features=64, flip_probability=0.1)
+
+#: nn-backend sweep axes: every registered backend under both dtype policies.
+NN_COMBOS = (
+    ("numpy", "float64"),
+    ("numpy", "float32"),
+    ("accelerated", "float64"),
+    ("accelerated", "float32"),
+)
+#: Enough rounds for the smoke federation to converge (~99% accuracy), so
+#: the float32-vs-float64 accuracy comparison is measured on a trained
+#: model rather than on chance-level noise.
+NN_ROUNDS = 11
+_IMAGE_SPEC = ImageSpec(num_classes=4, channels=1, height=16, width=16, noise_scale=0.1)
 
 
 def _build_federation(num_clients: int, seed: int = 0):
@@ -92,20 +121,93 @@ def _time_backend(backend: str, num_clients: int) -> dict:
     }
 
 
+def _build_conv_federation(num_clients: int = 2, seed: int = 0):
+    dataset = generate_image_dataset(_IMAGE_SPEC, samples_per_class=48, seed=seed)
+    shards = partition_iid(dataset, num_clients, seed=derive_rng(seed, "bench-cp"))
+
+    def factory():
+        return build_model(
+            "vgg", _IMAGE_SPEC.num_classes, in_channels=_IMAGE_SPEC.channels,
+            stage_channels=(8, 16), convs_per_stage=1,
+            seed=derive_rng(seed, "bench-cm"),
+        )
+
+    server = FLServer(factory)
+    clients = [
+        FLClient(i, shards[i], factory, ClientConfig(lr=5e-2, batch_size=16),
+                 seed=derive_rng(seed, "bench-cc", i))
+        for i in range(num_clients)
+    ]
+    return server, clients, dataset
+
+
+def _time_nn_combo(nn_backend: str, compute_dtype: str) -> dict:
+    """Sequential conv-heavy federation under one backend x dtype combo.
+
+    Same timing fields as the executor rows, plus the configuration axes
+    and the final test accuracy (the float32 policy must not cost more
+    than a fraction of a point on this smoke-scale task).
+    """
+    with use_backend(nn_backend, compute_dtype=compute_dtype):
+        server, clients, dataset = _build_conv_federation()
+        with FederatedSimulation(server, clients) as sim:
+            sim.run(WARMUP_ROUNDS)
+            start = time.perf_counter()
+            sim.run(NN_ROUNDS)
+            elapsed = time.perf_counter() - start
+            metrics = sim.history.round_metrics[WARMUP_ROUNDS:]
+            accuracy = sim.evaluate_global(dataset).accuracy
+    mean_round = elapsed / NN_ROUNDS
+    return {
+        "backend": "sequential",
+        "nn_backend": nn_backend,
+        "compute_dtype": compute_dtype,
+        "clients": len(clients),
+        "rounds": NN_ROUNDS,
+        "rounds_per_sec": (1.0 / mean_round) if mean_round > 0 else float("inf"),
+        "mean_round_sec": mean_round,
+        "mean_client_compute_sec": sum(
+            m.total_compute_seconds for m in metrics
+        ) / len(metrics),
+        "mb_broadcast_per_round": sum(m.bytes_broadcast for m in metrics)
+        / len(metrics) / 1e6,
+        "mb_aggregated_per_round": sum(m.bytes_aggregated for m in metrics)
+        / len(metrics) / 1e6,
+        "test_accuracy": accuracy,
+    }
+
+
 def run_bench() -> dict:
     rows = [
         _time_backend(backend, num_clients)
         for num_clients in CLIENT_COUNTS
         for backend in BACKENDS
     ]
+    nn_rows = [
+        _time_nn_combo(nn_backend, compute_dtype)
+        for nn_backend, compute_dtype in NN_COMBOS
+    ]
     report = {
         "benchmark": "round_throughput",
         "num_workers": NUM_WORKERS,
         "cpu_count": os.cpu_count(),
         "rows": rows,
+        "nn_backend_rows": nn_rows,
+        "nn_backend_speedup_vs_reference": _nn_speedup(nn_rows),
     }
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     return report
+
+
+def _nn_speedup(nn_rows) -> dict:
+    """Per-combo speedup over the numpy/float64 reference row."""
+    by_key = {(row["nn_backend"], row["compute_dtype"]): row for row in nn_rows}
+    reference = by_key[("numpy", "float64")]["mean_round_sec"]
+    return {
+        f"{nn_backend}-{compute_dtype}": reference
+        / by_key[(nn_backend, compute_dtype)]["mean_round_sec"]
+        for nn_backend, compute_dtype in NN_COMBOS
+    }
 
 
 def _speedup(report: dict, num_clients: int) -> float:
@@ -126,11 +228,29 @@ def test_round_throughput(benchmark):
         )
     for num_clients in CLIENT_COUNTS:
         print(f"  speedup @{num_clients} clients: {_speedup(report, num_clients):.2f}x")
+    for row in report["nn_backend_rows"]:
+        print(
+            f"  {row['nn_backend']:>11s}/{row['compute_dtype']:<8s}: "
+            f"{row['mean_round_sec'] * 1e3:.1f} ms/round, "
+            f"accuracy {row['test_accuracy']:.3f}"
+        )
+    print(f"  nn speedups: {report['nn_backend_speedup_vs_reference']}")
     assert OUTPUT.exists()
     # Parallel wins require real cores; a single-core container pays IPC
     # overhead with nothing to parallelize over, so only assert there.
     if (os.cpu_count() or 1) >= NUM_WORKERS:
         assert _speedup(report, 8) >= 2.0
+    # The accelerated float32 path must beat the reference by >=1.3x on
+    # this conv-heavy workload while staying within 0.5pp of its accuracy.
+    speedups = report["nn_backend_speedup_vs_reference"]
+    assert speedups["accelerated-float32"] >= 1.3
+    by_key = {
+        (row["nn_backend"], row["compute_dtype"]): row
+        for row in report["nn_backend_rows"]
+    }
+    reference_accuracy = by_key[("numpy", "float64")]["test_accuracy"]
+    fast_accuracy = by_key[("accelerated", "float32")]["test_accuracy"]
+    assert abs(fast_accuracy - reference_accuracy) <= 0.005
 
 
 if __name__ == "__main__":
@@ -138,3 +258,4 @@ if __name__ == "__main__":
     print(json.dumps(generated, indent=2))
     for count in CLIENT_COUNTS:
         print(f"speedup @{count} clients: {_speedup(generated, count):.2f}x")
+    print(f"nn speedups: {generated['nn_backend_speedup_vs_reference']}")

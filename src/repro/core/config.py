@@ -100,6 +100,17 @@ class ExecutionConfig:
         :mod:`repro.fl.robust`).  Rejected clients count against the
         ``min_participation`` quorum, so screening is normally combined
         with ``min_participation < 1``.
+    nn_backend:
+        Array backend driving every ``repro.nn`` op for the run (see
+        :mod:`repro.nn.backend`).  ``"numpy"`` (default) is the
+        bit-identical reference; ``"accelerated"`` reuses im2col/GEMM
+        workspaces across steps.  Process-pool workers activate the same
+        backend, so coordinator and workers always agree.
+    compute_dtype:
+        Dtype policy for ``repro.nn``: ``"float64"`` (default, the paper's
+        precision) or ``"float32"`` (half the memory traffic; losses still
+        accumulate in float64).  Recorded in checkpoints together with
+        ``nn_backend`` — resume refuses a mismatched configuration.
     """
 
     backend: str = "sequential"
@@ -120,6 +131,8 @@ class ExecutionConfig:
     clip_norm: Optional[float] = None
     krum_byzantine: Optional[int] = None
     screen_updates: bool = False
+    nn_backend: str = "numpy"
+    compute_dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
@@ -150,6 +163,16 @@ class ExecutionConfig:
             raise ValueError("clip_norm must be positive")
         if self.krum_byzantine is not None and self.krum_byzantine < 0:
             raise ValueError("krum_byzantine must be non-negative")
+        # Imported lazily: repro.nn.backend must stay importable without
+        # repro.core (the nn substrate has no core dependency).
+        from repro.nn.backend import available_backends, available_dtype_policies
+
+        if self.nn_backend not in available_backends():
+            raise ValueError(f"nn_backend must be one of {available_backends()}")
+        if self.compute_dtype not in available_dtype_policies():
+            raise ValueError(
+                f"compute_dtype must be one of {available_dtype_policies()}"
+            )
 
 
 @dataclass

@@ -64,6 +64,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="compress broadcast/update payloads to this dtype "
         "(float32 halves traffic but breaks bitwise reproducibility)",
     )
+    nn_group = parser.add_argument_group(
+        "nn backend",
+        "array backend and compute precision for the repro.nn substrate "
+        "(see repro.nn.backend)",
+    )
+    nn_group.add_argument(
+        "--nn-backend",
+        default="numpy",
+        choices=("numpy", "accelerated"),
+        help="array backend for all nn ops (numpy = bit-identical reference; "
+        "accelerated = workspace-cached im2col + preallocated conv GEMMs)",
+    )
+    nn_group.add_argument(
+        "--compute-dtype",
+        default="float64",
+        choices=("float64", "float32"),
+        help="nn compute precision (float32 halves memory traffic; losses "
+        "still accumulate in float64, but results are no longer bitwise "
+        "comparable to the float64 baseline)",
+    )
     diag = parser.add_argument_group(
         "diagnostics",
         "autograd correctness guards and op-level profiling "
@@ -279,6 +299,8 @@ def main(argv=None) -> int:
             clip_norm=args.clip_norm,
             krum_byzantine=args.krum_byzantine,
             screen_updates=args.screen_updates,
+            nn_backend=args.nn_backend,
+            compute_dtype=args.compute_dtype,
         ),
         faults=parse_fault_config(args.inject_faults, args.fault_seed),
         byzantine=parse_byzantine_config(args),

@@ -81,6 +81,12 @@ def set_execution_config(
         from repro.nn import diagnostics
 
         diagnostics.enable_op_profiling()
+    # Same enable-only convention: only a non-default selection activates,
+    # so CLI defaults don't clobber a REPRO_NN_BACKEND env-var choice.
+    if config.nn_backend != "numpy" or config.compute_dtype != "float64":
+        from repro.nn.backend import set_backend
+
+        set_backend(config.nn_backend, compute_dtype=config.compute_dtype)
 
 
 def get_execution_config() -> ExecutionConfig:

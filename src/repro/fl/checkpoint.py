@@ -31,6 +31,7 @@ import pickle
 import re
 from typing import Dict, List, Optional
 
+from repro.nn.backend import active_backend_name, active_compute_dtype
 from repro.nn.serialization import pack_state_dict, unpack_state_dict
 from repro.utils.logging import get_logger
 
@@ -75,6 +76,12 @@ def save_checkpoint(simulation, directory: str, keep: int = 0) -> str:
     payload = {
         "version": CHECKPOINT_VERSION,
         "round": round_index,
+        # Restores refuse a mismatched backend/dtype configuration: client
+        # state pickled under float32 would silently poison a float64 run
+        # (and vice versa), and workspace-backed column caches are not
+        # portable across backends.
+        "nn_backend": active_backend_name(),
+        "compute_dtype": active_compute_dtype(),
         "server_state": pack_state_dict(simulation.server.global_state()),
         # clone(): the snapshot must not alias the clients' live RNGs.
         "clients": {
@@ -124,6 +131,18 @@ def restore_simulation(simulation, path: str) -> int:
     import numpy as np
 
     payload = load_checkpoint(path)
+    # Older (pre-backend) checkpoints carry no backend metadata; they were
+    # all written by the numpy/float64 reference configuration.
+    saved_backend = payload.get("nn_backend", "numpy")
+    saved_dtype = payload.get("compute_dtype", "float64")
+    if (saved_backend, saved_dtype) != (active_backend_name(), active_compute_dtype()):
+        raise ValueError(
+            f"incompatible checkpoint: {path} was written under nn backend "
+            f"{saved_backend!r} with compute dtype {saved_dtype!r}, but the "
+            f"simulation is running {active_backend_name()!r}/"
+            f"{active_compute_dtype()!r}; re-run with the matching "
+            "--nn-backend/--compute-dtype (or restart training from scratch)"
+        )
     client_states = payload["clients"]
     simulation_ids = {client.client_id for client in simulation.clients}
     if set(client_states) != simulation_ids:

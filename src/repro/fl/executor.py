@@ -400,8 +400,19 @@ class SequentialExecutor(RoundExecutor):
 _WORKER_CLIENTS: Dict[int, FLClient] = {}
 
 
-def _worker_init(payload: bytes) -> None:
+def _worker_init(
+    payload: bytes,
+    backend_name: Optional[str] = None,
+    compute_dtype: Optional[str] = None,
+) -> None:
     global _WORKER_CLIENTS
+    # Activate the coordinator's nn backend/dtype policy BEFORE unpickling:
+    # client state (parameters, buffers) must materialize under the same
+    # dtype policy the coordinator trained it with.
+    if backend_name is not None or compute_dtype is not None:
+        from repro.nn.backend import set_backend
+
+        set_backend(backend_name, compute_dtype=compute_dtype)
     _WORKER_CLIENTS = pickle.loads(payload)
 
 
@@ -538,10 +549,12 @@ class ParallelExecutor(RoundExecutor):
                 len(self._clients),
                 len(payload) / 1e6,
             )
+            from repro.nn.backend import active_backend_name, active_compute_dtype
+
             self._pool = ProcessPoolExecutor(
                 max_workers=self.num_workers,
                 initializer=_worker_init,
-                initargs=(payload,),
+                initargs=(payload, active_backend_name(), active_compute_dtype()),
                 mp_context=context,
             )
         return self._pool

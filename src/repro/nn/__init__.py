@@ -7,6 +7,17 @@ optimizers, and mini versions of the paper's backbone architectures.  See
 ``DESIGN.md`` section 2 for the substitution rationale.
 """
 
+from repro.nn.backend import (
+    ArrayBackend,
+    DtypePolicy,
+    available_backends,
+    available_dtype_policies,
+    get_backend,
+    get_dtype_policy,
+    register_backend,
+    set_backend,
+    use_backend,
+)
 from repro.nn.tensor import Tensor, no_grad, concatenate, stack, where
 from repro.nn import functional
 from repro.nn import diagnostics
@@ -45,6 +56,15 @@ from repro.nn.serialization import (
 )
 
 __all__ = [
+    "ArrayBackend",
+    "DtypePolicy",
+    "available_backends",
+    "available_dtype_policies",
+    "get_backend",
+    "get_dtype_policy",
+    "register_backend",
+    "set_backend",
+    "use_backend",
     "Tensor",
     "no_grad",
     "concatenate",

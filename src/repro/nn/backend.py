@@ -1,0 +1,660 @@
+"""Pluggable array backends and the compute-dtype policy for :mod:`repro.nn`.
+
+Every array operation the autograd substrate performs — GEMMs, im2col /
+col2im unfolding, pooling-window extraction, elementwise math, reductions,
+padding, contiguity — is routed through the *active* :class:`ArrayBackend`
+instead of inline ``np.*`` calls.  That seam is what lets the same CIP
+reproduction run on different substrates without touching the op
+definitions (in the spirit of HIPS ``autograd``'s thin NumPy wrapper and
+``xitorch``'s pluggable linear operators):
+
+* :class:`NumpyBackend` (the default) executes the exact same NumPy call
+  sequence the pre-backend code did — it is **bitwise identical** to the
+  historical behaviour, which the pinned-digest test in
+  ``tests/fl/test_backend_identity.py`` asserts end-to-end.
+* :class:`AcceleratedBackend` keeps per-shape im2col/col2im/GEMM
+  workspaces alive across steps (steady-state training performs the big
+  conv allocations once, then recycles them) and runs conv2d as a single
+  preallocated GEMM.  Combined with the float32 policy this is the fast
+  path measured in ``BENCH_round_throughput.json``.
+
+Orthogonally, a :class:`DtypePolicy` decides what dtype differentiable
+data lives in.  The default ``"float64"`` policy reproduces the historical
+coercion rules exactly; the opt-in ``"float32"`` policy keeps parameters,
+activations and gradients in float32 while still *accumulating loss
+reductions in float64* (see ``repro.nn.losses._reduce``), so the reported
+loss does not drift with batch size.
+
+Selection is global-per-process (mirroring ``repro.nn.diagnostics``):
+:func:`set_backend` activates a backend and/or policy, :func:`use_backend`
+scopes the activation to a block, and the ``REPRO_NN_BACKEND`` /
+``REPRO_NN_COMPUTE_DTYPE`` environment variables activate at import time so
+process-pool workers inherit the selection (the FL executor additionally
+activates explicitly via its worker initializer).
+
+This module deliberately imports nothing from the rest of ``repro`` so the
+op modules can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+#: Environment variables activating a backend / dtype policy at import time.
+BACKEND_ENV_VAR = "REPRO_NN_BACKEND"
+DTYPE_ENV_VAR = "REPRO_NN_COMPUTE_DTYPE"
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial extent of a convolution/pooling along one axis."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def _window_view(
+    images: np.ndarray, kernel: int, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Read-only ``(N, C, OH, OW, KH, KW)`` sliding-window view of NCHW images.
+
+    The only ``as_strided`` call in the nn substrate (enforced by the
+    dispatch-hygiene test); works on non-contiguous inputs because it uses
+    the array's own strides.
+    """
+    strides = images.strides
+    return np.lib.stride_tricks.as_strided(
+        images,
+        shape=(images.shape[0], images.shape[1], out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+
+
+def _scatter_cols(
+    padded: np.ndarray,
+    cols: np.ndarray,
+    kernel: int,
+    stride: int,
+    out_h: int,
+    out_w: int,
+) -> None:
+    """Accumulate a column matrix into a (padded) NCHW image in place."""
+    batch, channels = padded.shape[0], padded.shape[1]
+    cols6 = cols.reshape(batch, out_h, out_w, channels, kernel, kernel).transpose(
+        0, 3, 1, 2, 4, 5
+    )
+    for kh in range(kernel):
+        h_end = kh + stride * out_h
+        for kw in range(kernel):
+            w_end = kw + stride * out_w
+            padded[:, :, kh:h_end:stride, kw:w_end:stride] += cols6[:, :, :, :, kh, kw]
+
+
+# ----------------------------------------------------------------------
+# Dtype policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DtypePolicy:
+    """What dtype differentiable data, gradients and losses live in.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"float64"`` or ``"float32"``).
+    compute_dtype:
+        The dtype parameters, buffers and leaf tensors are coerced to.
+    cast_floating_leaves:
+        Whether *floating* leaf data is also coerced to ``compute_dtype``
+        (the float64 policy keeps the historical rule: only non-floating
+        differentiable data is coerced, so explicitly-float32 tensors stay
+        float32 under the default policy).
+    preserve_grad_dtype:
+        ``False`` — gradients are always accumulated in float64 (the
+        historical, bit-identical behaviour); ``True`` — gradients match
+        their tensor's dtype, keeping the whole backward pass in
+        ``compute_dtype``.
+    upcast_loss:
+        Whether loss reductions (mean/sum over per-sample losses) are
+        accumulated in float64 even when activations are float32.
+    """
+
+    name: str
+    compute_dtype: "np.dtype"
+    cast_floating_leaves: bool
+    preserve_grad_dtype: bool
+    upcast_loss: bool
+
+    @property
+    def loss_dtype(self) -> "np.dtype":
+        """Dtype loss reductions accumulate in (always float64)."""
+        return np.dtype(np.float64)
+
+    def grad_dtype(self, data_dtype: "np.dtype") -> "np.dtype":
+        """Dtype of the gradient accumulated into a tensor of ``data_dtype``."""
+        if not self.preserve_grad_dtype:
+            return np.dtype(np.float64)
+        dtype = np.dtype(data_dtype)
+        if np.issubdtype(dtype, np.floating):
+            return dtype
+        return np.dtype(self.compute_dtype)
+
+    def coerce_leaf(
+        self, array: np.ndarray, requires_grad: bool, is_leaf: bool
+    ) -> np.ndarray:
+        """Apply the policy's dtype coercion to freshly-constructed data."""
+        if requires_grad and not np.issubdtype(array.dtype, np.floating):
+            return array.astype(self.compute_dtype)
+        if (
+            self.cast_floating_leaves
+            and is_leaf
+            and np.issubdtype(array.dtype, np.floating)
+            and array.dtype != self.compute_dtype
+        ):
+            return array.astype(self.compute_dtype)
+        return array
+
+
+_POLICIES: Dict[str, DtypePolicy] = {
+    "float64": DtypePolicy(
+        name="float64",
+        compute_dtype=np.dtype(np.float64),
+        cast_floating_leaves=False,
+        preserve_grad_dtype=False,
+        upcast_loss=False,
+    ),
+    "float32": DtypePolicy(
+        name="float32",
+        compute_dtype=np.dtype(np.float32),
+        cast_floating_leaves=True,
+        preserve_grad_dtype=True,
+        upcast_loss=True,
+    ),
+}
+
+
+def available_dtype_policies() -> Tuple[str, ...]:
+    return tuple(_POLICIES)
+
+
+def get_policy(name: str) -> DtypePolicy:
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown compute dtype {name!r}; choose from {tuple(_POLICIES)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Backend protocol (the base class doubles as the NumPy reference impl)
+# ----------------------------------------------------------------------
+class ArrayBackend:
+    """The array-op protocol the nn substrate dispatches through.
+
+    The base class *is* the NumPy reference implementation: every method
+    runs the exact call the pre-backend inline code ran, so a subclass only
+    overrides what it accelerates.  All methods take/return plain
+    ``np.ndarray``s — autograd bookkeeping stays in ``repro.nn.tensor``.
+    """
+
+    name = "base"
+
+    #: True when conv scratch (the im2col column cache) is recycled inside
+    #: the backward pass — a graph built on such a backend supports only a
+    #: single backward (``repro.nn.functional.conv2d`` enforces this).
+    recycles_workspaces = False
+
+    # -- allocation / layout -------------------------------------------
+    def contiguous(self, array: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(array)
+
+    def zeros(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
+
+    def pad(self, array: np.ndarray, pad_width) -> np.ndarray:
+        return np.pad(array, pad_width)
+
+    # -- elementwise ----------------------------------------------------
+    def exp(self, x: np.ndarray) -> np.ndarray:
+        return np.exp(x)
+
+    def log(self, x: np.ndarray) -> np.ndarray:
+        return np.log(x)
+
+    def sqrt(self, x: np.ndarray) -> np.ndarray:
+        return np.sqrt(x)
+
+    def tanh(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def sigmoid(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
+
+    def abs(self, x: np.ndarray) -> np.ndarray:
+        return np.abs(x)
+
+    def sign(self, x: np.ndarray) -> np.ndarray:
+        return np.sign(x)
+
+    def clip(self, x: np.ndarray, low: float, high: float) -> np.ndarray:
+        return np.clip(x, low, high)
+
+    def where(self, condition: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.where(condition, a, b)
+
+    # -- reductions -----------------------------------------------------
+    def sum(self, x: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        return x.sum(axis=axis, keepdims=keepdims)
+
+    def mean(self, x: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        return x.mean(axis=axis, keepdims=keepdims)
+
+    def amax(self, x: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        return x.max(axis=axis, keepdims=keepdims)
+
+    # -- linear algebra -------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    def einsum(self, subscripts: str, *operands: np.ndarray) -> np.ndarray:
+        return np.einsum(subscripts, *operands)
+
+    # -- conv / pool machinery -----------------------------------------
+    def pool_windows(
+        self, images: np.ndarray, kernel: int, stride: int, out_h: int, out_w: int
+    ) -> np.ndarray:
+        """Read-only (N, C, OH, OW, KH, KW) sliding-window view (no padding)."""
+        return _window_view(images, kernel, stride, out_h, out_w)
+
+    def im2col(
+        self, images: np.ndarray, kernel: int, stride: int, padding: int
+    ) -> Tuple[np.ndarray, Tuple[int, int]]:
+        """Unfold NCHW images into ``(N*OH*OW, C*KH*KW)``; returns (cols, (OH, OW))."""
+        batch, channels, height, width = images.shape
+        out_h = conv_output_size(height, kernel, stride, padding)
+        out_w = conv_output_size(width, kernel, stride, padding)
+        if padding > 0:
+            images = np.pad(
+                images, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+            )
+        view = _window_view(images, kernel, stride, out_h, out_w)
+        cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(
+            batch * out_h * out_w, channels * kernel * kernel
+        )
+        return np.ascontiguousarray(cols), (out_h, out_w)
+
+    def col2im(
+        self,
+        cols: np.ndarray,
+        image_shape: Tuple[int, int, int, int],
+        kernel: int,
+        stride: int,
+        padding: int,
+    ) -> np.ndarray:
+        """Fold a column matrix back into NCHW images (adjoint of im2col)."""
+        batch, channels, height, width = image_shape
+        out_h = conv_output_size(height, kernel, stride, padding)
+        out_w = conv_output_size(width, kernel, stride, padding)
+        padded = np.zeros(
+            (batch, channels, height + 2 * padding, width + 2 * padding),
+            dtype=cols.dtype,
+        )
+        _scatter_cols(padded, cols, kernel, stride, out_h, out_w)
+        if padding > 0:
+            return padded[:, :, padding:-padding, padding:-padding]
+        return padded
+
+    def conv2d_forward(
+        self,
+        x: np.ndarray,
+        w_mat: np.ndarray,
+        bias: Optional[np.ndarray],
+        kernel: int,
+        stride: int,
+        padding: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """NCHW conv via im2col + one GEMM; returns ``(out, cols)``.
+
+        ``cols`` is the backward cache — pass it back to
+        :meth:`conv2d_backward` exactly once (backends may recycle it).
+        """
+        batch = x.shape[0]
+        out_channels = w_mat.shape[0]
+        cols, (out_h, out_w) = self.im2col(x, kernel, stride, padding)
+        out_mat = self.matmul(cols, w_mat.T)
+        if bias is not None:
+            out_mat = out_mat + bias
+        out = out_mat.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+        return out, cols
+
+    def conv2d_backward(
+        self,
+        grad: np.ndarray,
+        cols: np.ndarray,
+        w_mat: np.ndarray,
+        x_shape: Tuple[int, int, int, int],
+        kernel: int,
+        stride: int,
+        padding: int,
+        need_x: bool,
+        need_weight: bool,
+        need_bias: bool,
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]]:
+        """Gradients of :meth:`conv2d_forward`: ``(grad_x, grad_w_mat, grad_bias)``."""
+        out_channels = grad.shape[1]
+        grad_mat = grad.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+        grad_w = self.matmul(grad_mat.T, cols) if need_weight else None
+        grad_b = grad_mat.sum(axis=0) if need_bias else None
+        grad_x = None
+        if need_x:
+            grad_cols = self.matmul(grad_mat, w_mat)
+            grad_x = self.col2im(grad_cols, x_shape, kernel, stride, padding)
+        return grad_x, grad_w, grad_b
+
+    # -- workspace lifecycle -------------------------------------------
+    def clear_workspaces(self) -> None:
+        """Drop any cached scratch buffers (no-op for stateless backends)."""
+
+    def workspace_stats(self) -> Tuple[int, int]:
+        """``(buffer_count, total_bytes)`` of cached workspaces."""
+        return (0, 0)
+
+
+class NumpyBackend(ArrayBackend):
+    """The default backend: bitwise-identical to the historical inline NumPy."""
+
+    name = "numpy"
+
+
+class AcceleratedBackend(ArrayBackend):
+    """NumPy backend with cross-step workspace reuse and preallocated GEMMs.
+
+    Convolution scratch arrays (im2col column matrices, GEMM outputs,
+    gradient columns, padded col2im canvases) are drawn from a per-shape
+    free-list and returned once their contents have been consumed, so
+    steady-state training performs each large allocation once and then
+    recycles it; :meth:`clear_workspaces` releases everything.  The GEMMs
+    write into the pooled buffers via ``np.matmul(..., out=...)``.
+
+    Constraint: a conv graph built under this backend supports a *single*
+    backward pass (its column cache is recycled inside the backward) —
+    which is how every training loop in this codebase uses autograd.  The
+    stateless :class:`NumpyBackend` has no such constraint.
+
+    Numerically this backend performs the same float operations in the
+    same order as :class:`NumpyBackend`; the measured speedup comes from
+    the float32 dtype policy (wider SIMD, half the memory traffic) plus
+    the recycled workspaces.
+    """
+
+    name = "accelerated"
+
+    recycles_workspaces = True
+
+    #: Buffers smaller than this (elements) are not worth pooling.
+    _MIN_POOLED_ELEMENTS = 4096
+
+    def __init__(self) -> None:
+        self._pool: Dict[Tuple[Tuple[int, ...], str], List[np.ndarray]] = {}
+
+    # -- buffer pool ----------------------------------------------------
+    def _acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        bucket = self._pool.get((tuple(shape), np.dtype(dtype).str))
+        if bucket:
+            return bucket.pop()
+        return np.empty(shape, dtype=dtype)
+
+    def _release(self, *arrays: Optional[np.ndarray]) -> None:
+        for array in arrays:
+            if (
+                array is None
+                or array.size < self._MIN_POOLED_ELEMENTS
+                or array.base is not None
+                or not array.flags.c_contiguous
+            ):
+                continue
+            key = (array.shape, array.dtype.str)
+            self._pool.setdefault(key, []).append(array)
+
+    def clear_workspaces(self) -> None:
+        self._pool.clear()
+
+    def workspace_stats(self) -> Tuple[int, int]:
+        count = sum(len(bucket) for bucket in self._pool.values())
+        total = sum(
+            array.nbytes for bucket in self._pool.values() for array in bucket
+        )
+        return (count, total)
+
+    # -- accelerated conv machinery ------------------------------------
+    def im2col(
+        self, images: np.ndarray, kernel: int, stride: int, padding: int
+    ) -> Tuple[np.ndarray, Tuple[int, int]]:
+        batch, channels, height, width = images.shape
+        out_h = conv_output_size(height, kernel, stride, padding)
+        out_w = conv_output_size(width, kernel, stride, padding)
+        scratch = None
+        if padding > 0:
+            scratch = self._acquire(
+                (batch, channels, height + 2 * padding, width + 2 * padding),
+                images.dtype,
+            )
+            scratch.fill(0.0)
+            scratch[:, :, padding:-padding, padding:-padding] = images
+            images = scratch
+        view = _window_view(images, kernel, stride, out_h, out_w)
+        cols = self._acquire(
+            (batch * out_h * out_w, channels * kernel * kernel), images.dtype
+        )
+        np.copyto(
+            cols.reshape(batch, out_h, out_w, channels, kernel, kernel),
+            view.transpose(0, 2, 3, 1, 4, 5),
+        )
+        self._release(scratch)
+        return cols, (out_h, out_w)
+
+    def col2im(
+        self,
+        cols: np.ndarray,
+        image_shape: Tuple[int, int, int, int],
+        kernel: int,
+        stride: int,
+        padding: int,
+    ) -> np.ndarray:
+        if padding == 0:
+            return super().col2im(cols, image_shape, kernel, stride, padding)
+        batch, channels, height, width = image_shape
+        out_h = conv_output_size(height, kernel, stride, padding)
+        out_w = conv_output_size(width, kernel, stride, padding)
+        padded = self._acquire(
+            (batch, channels, height + 2 * padding, width + 2 * padding), cols.dtype
+        )
+        padded.fill(0.0)
+        _scatter_cols(padded, cols, kernel, stride, out_h, out_w)
+        out = np.ascontiguousarray(
+            padded[:, :, padding:-padding, padding:-padding]
+        )
+        self._release(padded)
+        return out
+
+    def conv2d_forward(
+        self,
+        x: np.ndarray,
+        w_mat: np.ndarray,
+        bias: Optional[np.ndarray],
+        kernel: int,
+        stride: int,
+        padding: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        batch = x.shape[0]
+        out_channels = w_mat.shape[0]
+        cols, (out_h, out_w) = self.im2col(x, kernel, stride, padding)
+        out_mat = self._acquire(
+            (cols.shape[0], out_channels), np.result_type(cols, w_mat)
+        )
+        np.matmul(cols, w_mat.T, out=out_mat)
+        if bias is not None:
+            out_mat += bias
+        # Materialize a fresh contiguous NCHW output so the GEMM buffer can
+        # be recycled immediately (and downstream ops see dense memory).
+        out = np.ascontiguousarray(
+            out_mat.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+        )
+        self._release(out_mat)
+        return out, cols
+
+    def conv2d_backward(
+        self,
+        grad: np.ndarray,
+        cols: np.ndarray,
+        w_mat: np.ndarray,
+        x_shape: Tuple[int, int, int, int],
+        kernel: int,
+        stride: int,
+        padding: int,
+        need_x: bool,
+        need_weight: bool,
+        need_bias: bool,
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]]:
+        batch, out_channels, out_h, out_w = grad.shape
+        grad_mat = self._acquire((batch * out_h * out_w, out_channels), grad.dtype)
+        np.copyto(
+            grad_mat.reshape(batch, out_h, out_w, out_channels),
+            grad.transpose(0, 2, 3, 1),
+        )
+        grad_w = self.matmul(grad_mat.T, cols) if need_weight else None
+        grad_b = grad_mat.sum(axis=0) if need_bias else None
+        grad_x = None
+        if need_x:
+            grad_cols = self._acquire(
+                cols.shape, np.result_type(grad_mat, w_mat)
+            )
+            np.matmul(grad_mat, w_mat, out=grad_cols)
+            grad_x = self.col2im(grad_cols, x_shape, kernel, stride, padding)
+            self._release(grad_cols)
+        # The column cache is consumed exactly once per forward (see the
+        # class docstring), so it can re-enter the pool here.
+        self._release(grad_mat, cols)
+        return grad_x, grad_w, grad_b
+
+
+# ----------------------------------------------------------------------
+# Registry and activation
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Callable[[], ArrayBackend]] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+BackendLike = Union[str, ArrayBackend]
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register a backend factory under ``name`` (instantiated lazily, once)."""
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    return tuple(_REGISTRY)
+
+
+def _resolve(backend: BackendLike) -> ArrayBackend:
+    if isinstance(backend, ArrayBackend):
+        return backend
+    if backend not in _REGISTRY:
+        raise ValueError(
+            f"unknown nn backend {backend!r}; choose from {tuple(_REGISTRY)}"
+        )
+    if backend not in _INSTANCES:
+        _INSTANCES[backend] = _REGISTRY[backend]()
+    return _INSTANCES[backend]
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("accelerated", AcceleratedBackend)
+
+_active_backend: ArrayBackend = _resolve("numpy")
+_active_policy: DtypePolicy = _POLICIES["float64"]
+
+
+def get_backend() -> ArrayBackend:
+    """The backend all nn ops currently dispatch through."""
+    return _active_backend
+
+
+def get_dtype_policy() -> DtypePolicy:
+    """The dtype policy currently governing tensor/grad/loss dtypes."""
+    return _active_policy
+
+
+def active_backend_name() -> str:
+    return _active_backend.name
+
+
+def active_compute_dtype() -> str:
+    return _active_policy.name
+
+
+def set_backend(
+    backend: Optional[BackendLike] = None, compute_dtype: Optional[str] = None
+) -> ArrayBackend:
+    """Activate a backend and/or dtype policy process-wide.
+
+    Either argument may be ``None`` to leave that axis unchanged.  Returns
+    the backend now active.  Worker processes of the FL parallel executor
+    re-run this with the coordinator's selection (see
+    ``repro.fl.executor._worker_init``), so both executors compute under
+    the same configuration.
+    """
+    global _active_backend, _active_policy
+    if backend is not None:
+        _active_backend = _resolve(backend)
+    if compute_dtype is not None:
+        _active_policy = get_policy(compute_dtype)
+    return _active_backend
+
+
+class use_backend:
+    """Context manager scoping a backend/policy activation to a block.
+
+    Restores the previous activation on exit, so tests can pin a
+    configuration without leaking it::
+
+        with use_backend("accelerated", "float32"):
+            train(...)
+    """
+
+    def __init__(
+        self,
+        backend: Optional[BackendLike] = None,
+        compute_dtype: Optional[str] = None,
+    ) -> None:
+        self._backend = backend
+        self._compute_dtype = compute_dtype
+
+    def __enter__(self) -> ArrayBackend:
+        self._prev_backend = _active_backend
+        self._prev_policy = _active_policy
+        return set_backend(self._backend, self._compute_dtype)
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _active_backend, _active_policy
+        _active_backend = self._prev_backend
+        _active_policy = self._prev_policy
+
+
+# Honour the environment at import time so a whole run — including
+# process-pool workers, which inherit the environment — can be switched
+# without code changes (the executor additionally activates explicitly).
+_env_backend = os.environ.get(BACKEND_ENV_VAR, "").strip()
+_env_dtype = os.environ.get(DTYPE_ENV_VAR, "").strip()
+if _env_backend or _env_dtype:
+    set_backend(_env_backend or None, _env_dtype or None)
+del _env_backend, _env_dtype

@@ -41,6 +41,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn.backend import active_backend_name, use_backend
 from repro.nn.tensor import Tensor
 
 #: Setting this environment variable (to anything but ``0``/``false``/empty)
@@ -238,6 +239,8 @@ class OpStat:
     which runs mean/sub/mul) do not double-count their children.
     ``backward_seconds`` is the total time spent in the op's backward
     closures.  ``bytes_out`` sums the op's forward output sizes.
+    ``backend`` names the array backend the op ran on (``"mixed"`` when
+    stats from different backends were merged).
     """
 
     calls: int = 0
@@ -245,6 +248,15 @@ class OpStat:
     backward_calls: int = 0
     backward_seconds: float = 0.0
     bytes_out: int = 0
+    backend: str = ""
+
+    @staticmethod
+    def _merge_backend(left: str, right: str) -> str:
+        if left == right or not right:
+            return left
+        if not left:
+            return right
+        return "mixed"
 
     def merged(self, other: "OpStat") -> "OpStat":
         return OpStat(
@@ -253,6 +265,7 @@ class OpStat:
             backward_calls=self.backward_calls + other.backward_calls,
             backward_seconds=self.backward_seconds + other.backward_seconds,
             bytes_out=self.bytes_out + other.bytes_out,
+            backend=self._merge_backend(self.backend, other.backend),
         )
 
     def minus(self, other: "OpStat") -> "OpStat":
@@ -262,6 +275,7 @@ class OpStat:
             backward_calls=self.backward_calls - other.backward_calls,
             backward_seconds=self.backward_seconds - other.backward_seconds,
             bytes_out=self.bytes_out - other.bytes_out,
+            backend=self._merge_backend(self.backend, other.backend),
         )
 
     @property
@@ -322,6 +336,7 @@ class OpProfiler:
             stat = self.stats.setdefault(name, OpStat())
             stat.calls += 1
             stat.forward_seconds += max(elapsed - child_time, 0.0)
+            stat.backend = OpStat._merge_backend(stat.backend, active_backend_name())
         if isinstance(result, Tensor):
             stat.bytes_out += result.data.nbytes
         return result
@@ -330,6 +345,7 @@ class OpProfiler:
         stat = self.stats.setdefault(op, OpStat())
         stat.backward_calls += 1
         stat.backward_seconds += seconds
+        stat.backend = OpStat._merge_backend(stat.backend, active_backend_name())
 
     def snapshot(self) -> Dict[str, OpStat]:
         return {name: OpStat(**vars(stat)) for name, stat in self.stats.items()}
@@ -474,15 +490,16 @@ def format_op_table(stats: Optional[Dict[str, OpStat]] = None) -> str:
     if not stats:
         return "(no ops profiled)"
     header = (
-        f"{'op':<14} {'calls':>8} {'fwd ms':>10} {'bwd calls':>10} "
-        f"{'bwd ms':>10} {'MB out':>10}"
+        f"{'op':<14} {'backend':<12} {'calls':>8} {'fwd ms':>10} "
+        f"{'bwd calls':>10} {'bwd ms':>10} {'MB out':>10}"
     )
     lines = [header, "-" * len(header)]
     for name, stat in sorted(
         stats.items(), key=lambda item: item[1].total_seconds, reverse=True
     ):
         lines.append(
-            f"{name:<14} {stat.calls:>8d} {stat.forward_seconds * 1e3:>10.2f} "
+            f"{name:<14} {stat.backend or '-':<12} {stat.calls:>8d} "
+            f"{stat.forward_seconds * 1e3:>10.2f} "
             f"{stat.backward_calls:>10d} {stat.backward_seconds * 1e3:>10.2f} "
             f"{stat.bytes_out / 1e6:>10.2f}"
         )
@@ -492,7 +509,8 @@ def format_op_table(stats: Optional[Dict[str, OpStat]] = None) -> str:
         total = total.merged(stat)
     lines.append("-" * len(header))
     lines.append(
-        f"{'total':<14} {total.calls:>8d} {total.forward_seconds * 1e3:>10.2f} "
+        f"{'total':<14} {total.backend or '-':<12} {total.calls:>8d} "
+        f"{total.forward_seconds * 1e3:>10.2f} "
         f"{total.backward_calls:>10d} {total.backward_seconds * 1e3:>10.2f} "
         f"{total.bytes_out / 1e6:>10.2f}"
     )
@@ -520,6 +538,7 @@ def gradcheck(
     rtol: Optional[float] = None,
     seed: int = 0,
     op_name: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> bool:
     """Verify ``fn``'s analytic gradients against central finite differences.
 
@@ -535,11 +554,21 @@ def gradcheck(
     analytic gradient runs in the inputs' real dtypes, and default
     tolerances widen automatically when any checked input is float32.
 
+    ``backend`` pins the whole check (analytic *and* numerical passes) to
+    a named array backend; ``None`` checks whatever backend is active.
+    The numerical pass additionally forces the float64 dtype policy, so a
+    float32 compute policy cannot round away the finite-difference probe.
+
     Raises :class:`GradcheckError` (naming ``op_name``) on the first
     violated invariant: a missing gradient, a gradient whose shape differs
     from its tensor's shape, or an analytic/numerical mismatch.  Returns
     ``True`` when everything agrees.
     """
+    if backend is not None:
+        with use_backend(backend):
+            return gradcheck(
+                fn, inputs, eps=eps, atol=atol, rtol=rtol, seed=seed, op_name=op_name
+            )
     tensors = [inputs] if isinstance(inputs, Tensor) else list(inputs)
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
     checked = [(i, t) for i, t in enumerate(tensors) if t.requires_grad]
@@ -578,7 +607,12 @@ def gradcheck(
     base = [np.array(t.data, dtype=np.float64, copy=True) for t in tensors]
 
     def evaluate(datas: List[np.ndarray]) -> float:
-        result = fn(*[Tensor(d) for d in datas])
+        # Pin the float64 policy for the numerical pass: under a float32
+        # compute policy the Tensor(d) leaves would be cast down and the
+        # eps-sized probes would drown in rounding error.  A no-op under
+        # the default policy, so the reference path is untouched.
+        with use_backend(compute_dtype="float64"):
+            result = fn(*[Tensor(d) for d in datas])
         return float((np.asarray(result.data, dtype=np.float64) * projection).sum())
 
     for index, tensor in checked:

@@ -3,6 +3,10 @@
 Convolution and pooling are implemented with im2col/col2im so the heavy
 lifting happens inside a single BLAS matmul per layer — the only way a NumPy
 conv net stays usable on CPU.  All layouts are NCHW.
+
+The array machinery (im2col/col2im, window extraction, the conv GEMMs)
+lives in the active :class:`~repro.nn.backend.ArrayBackend`; this module
+owns only the autograd wiring around it.
 """
 
 from __future__ import annotations
@@ -11,6 +15,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.nn.backend import conv_output_size as _conv_output_size
+from repro.nn.backend import get_backend
 from repro.nn.tensor import Tensor, is_grad_enabled
 
 #: Op entry points instrumented by :mod:`repro.nn.diagnostics` when op
@@ -27,12 +33,8 @@ PROFILED_OPS = (
 
 
 # ----------------------------------------------------------------------
-# im2col machinery
+# im2col machinery (delegated to the active backend)
 # ----------------------------------------------------------------------
-def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
-    return (size + 2 * padding - kernel) // stride + 1
-
-
 def im2col(
     images: np.ndarray, kernel: int, stride: int, padding: int
 ) -> Tuple[np.ndarray, Tuple[int, int]]:
@@ -40,33 +42,7 @@ def im2col(
 
     Returns the matrix and the output spatial size ``(OH, OW)``.
     """
-    batch, channels, height, width = images.shape
-    out_h = _conv_output_size(height, kernel, stride, padding)
-    out_w = _conv_output_size(width, kernel, stride, padding)
-    if padding > 0:
-        images = np.pad(
-            images, ((0, 0), (0, 0), (padding, padding), (padding, padding))
-        )
-    # Strided sliding-window view: (N, C, OH, OW, KH, KW)
-    strides = images.strides
-    view = np.lib.stride_tricks.as_strided(
-        images,
-        shape=(batch, channels, out_h, out_w, kernel, kernel),
-        strides=(
-            strides[0],
-            strides[1],
-            strides[2] * stride,
-            strides[3] * stride,
-            strides[2],
-            strides[3],
-        ),
-        writeable=False,
-    )
-    # -> (N, OH, OW, C, KH, KW) -> (N*OH*OW, C*KH*KW)
-    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(
-        batch * out_h * out_w, channels * kernel * kernel
-    )
-    return np.ascontiguousarray(cols), (out_h, out_w)
+    return get_backend().im2col(images, kernel, stride, padding)
 
 
 def col2im(
@@ -77,23 +53,7 @@ def col2im(
     padding: int,
 ) -> np.ndarray:
     """Fold a ``(N*OH*OW, C*KH*KW)`` matrix back into NCHW images (adjoint of im2col)."""
-    batch, channels, height, width = image_shape
-    out_h = _conv_output_size(height, kernel, stride, padding)
-    out_w = _conv_output_size(width, kernel, stride, padding)
-    padded = np.zeros(
-        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=cols.dtype
-    )
-    cols6 = cols.reshape(batch, out_h, out_w, channels, kernel, kernel).transpose(
-        0, 3, 1, 2, 4, 5
-    )
-    for kh in range(kernel):
-        h_end = kh + stride * out_h
-        for kw in range(kernel):
-            w_end = kw + stride * out_w
-            padded[:, :, kh:h_end:stride, kw:w_end:stride] += cols6[:, :, :, :, kh, kw]
-    if padding > 0:
-        return padded[:, :, padding:-padding, padding:-padding]
-    return padded
+    return get_backend().col2im(cols, image_shape, kernel, stride, padding)
 
 
 # ----------------------------------------------------------------------
@@ -114,25 +74,44 @@ def conv2d(
         raise ValueError(
             f"input has {x.shape[1]} channels but weight expects {in_channels}"
         )
-    batch = x.shape[0]
-    cols, (out_h, out_w) = im2col(x.data, kernel, stride, padding)
+    # The backward runs on the backend that did the forward: the column
+    # cache belongs to that backend's workspace pool.
+    backend = get_backend()
     w_mat = weight.data.reshape(out_channels, -1)  # (O, C*K*K)
-    out_mat = cols @ w_mat.T  # (N*OH*OW, O)
-    if bias is not None:
-        out_mat = out_mat + bias.data
-    out_data = out_mat.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+    out_data, cols = backend.conv2d_forward(
+        x.data, w_mat, None if bias is None else bias.data, kernel, stride, padding
+    )
 
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(grad: np.ndarray) -> None:
-        grad_mat = grad.transpose(0, 2, 3, 1).reshape(-1, out_channels)
-        if weight.requires_grad:
-            weight._accumulate((grad_mat.T @ cols).reshape(weight.shape))
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(grad_mat.sum(axis=0))
-        if x.requires_grad:
-            grad_cols = grad_mat @ w_mat  # (N*OH*OW, C*K*K)
-            x._accumulate(col2im(grad_cols, x.shape, kernel, stride, padding))
+        nonlocal cols
+        if cols is None:
+            raise RuntimeError(
+                "conv2d backward ran twice on a graph built by the "
+                f"{backend.name!r} backend; its column cache is recycled "
+                "inside the first backward, so the graph is single-shot"
+            )
+        grad_x, grad_w, grad_b = backend.conv2d_backward(
+            grad,
+            cols,
+            w_mat,
+            x.shape,
+            kernel,
+            stride,
+            padding,
+            need_x=x.requires_grad,
+            need_weight=weight.requires_grad,
+            need_bias=bias is not None and bias.requires_grad,
+        )
+        if backend.recycles_workspaces:
+            cols = None
+        if grad_w is not None:
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if grad_b is not None:
+            bias._accumulate(grad_b)
+        if grad_x is not None:
+            x._accumulate(grad_x)
 
     return x._make(out_data, parents, backward, "conv2d")
 
@@ -146,20 +125,7 @@ def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
     batch, channels, height, width = x.shape
     out_h = _conv_output_size(height, kernel, stride, 0)
     out_w = _conv_output_size(width, kernel, stride, 0)
-    strides = x.data.strides
-    view = np.lib.stride_tricks.as_strided(
-        x.data,
-        shape=(batch, channels, out_h, out_w, kernel, kernel),
-        strides=(
-            strides[0],
-            strides[1],
-            strides[2] * stride,
-            strides[3] * stride,
-            strides[2],
-            strides[3],
-        ),
-        writeable=False,
-    )
+    view = get_backend().pool_windows(x.data, kernel, stride, out_h, out_w)
     windows = view.reshape(batch, channels, out_h, out_w, kernel * kernel)
     arg = windows.argmax(axis=-1)
     out_data = np.take_along_axis(windows, arg[..., None], axis=-1)[..., 0]
@@ -189,20 +155,7 @@ def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
     batch, channels, height, width = x.shape
     out_h = _conv_output_size(height, kernel, stride, 0)
     out_w = _conv_output_size(width, kernel, stride, 0)
-    strides = x.data.strides
-    view = np.lib.stride_tricks.as_strided(
-        x.data,
-        shape=(batch, channels, out_h, out_w, kernel, kernel),
-        strides=(
-            strides[0],
-            strides[1],
-            strides[2] * stride,
-            strides[3] * stride,
-            strides[2],
-            strides[3],
-        ),
-        writeable=False,
-    )
+    view = get_backend().pool_windows(x.data, kernel, stride, out_h, out_w)
     out_data = view.mean(axis=(4, 5))
     scale = 1.0 / (kernel * kernel)
 
@@ -227,10 +180,11 @@ def global_avg_pool2d(x: Tensor) -> Tensor:
 # ----------------------------------------------------------------------
 def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax with a fused backward pass."""
+    backend = get_backend()
     shifted = logits.data - logits.data.max(axis=axis, keepdims=True)
-    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    log_z = backend.log(backend.exp(shifted).sum(axis=axis, keepdims=True))
     out_data = shifted - log_z
-    softmax_data = np.exp(out_data)
+    softmax_data = backend.exp(out_data)
 
     def backward(grad: np.ndarray) -> None:
         logits._accumulate(grad - softmax_data * grad.sum(axis=axis, keepdims=True))
@@ -241,7 +195,7 @@ def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
 def softmax(logits: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax with a fused backward pass."""
     shifted = logits.data - logits.data.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
+    exp = get_backend().exp(shifted)
     out_data = exp / exp.sum(axis=axis, keepdims=True)
 
     def backward(grad: np.ndarray) -> None:
@@ -251,12 +205,22 @@ def softmax(logits: Tensor, axis: int = -1) -> Tensor:
     return logits._make(out_data, (logits,), backward, "softmax")
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """Plain (non-differentiable) one-hot encoding of an int label vector."""
+def one_hot(
+    labels: np.ndarray, num_classes: int, dtype: Optional[np.dtype] = None
+) -> np.ndarray:
+    """Plain (non-differentiable) one-hot encoding of an int label vector.
+
+    ``dtype`` defaults to float64 for backwards compatibility; callers on a
+    float32 compute path should pass the dtype of the tensor the encoding
+    will be combined with, so the target does not upcast the whole loss.
+    """
     labels = np.asarray(labels, dtype=np.int64)
     if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
         raise ValueError("labels out of range for one_hot")
-    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros(
+        (labels.shape[0], num_classes),
+        dtype=np.float64 if dtype is None else dtype,
+    )
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out
 

@@ -16,15 +16,23 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init as initializers
+from repro.nn.backend import get_backend, get_dtype_policy
 from repro.nn.tensor import Tensor
 from repro.utils.rng import SeedLike, as_generator
 
 
 class Parameter(Tensor):
-    """A tensor that is registered as a learnable model parameter."""
+    """A tensor that is registered as a learnable model parameter.
+
+    Parameters are allocated in the active :class:`~repro.nn.backend.DtypePolicy`
+    compute dtype (float64 under the default policy).
+    """
 
     def __init__(self, data: np.ndarray) -> None:
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
+        super().__init__(
+            np.asarray(data, dtype=get_dtype_policy().compute_dtype),
+            requires_grad=True,
+        )
 
 
 class LoadResult(NamedTuple):
@@ -72,11 +80,11 @@ class Module:
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
         """Register non-learnable state (e.g. BatchNorm running stats)."""
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = np.asarray(value, dtype=get_dtype_policy().compute_dtype)
         object.__setattr__(self, name, self._buffers[name])
 
     def _set_buffer(self, name: str, value: np.ndarray) -> None:
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = np.asarray(value, dtype=get_dtype_policy().compute_dtype)
         object.__setattr__(self, name, self._buffers[name])
 
     # -- traversal ------------------------------------------------------
@@ -174,7 +182,7 @@ class Module:
             raise KeyError(f"load_state_dict (strict): {'; '.join(problems)}")
         for name, param in own_params.items():
             if name in state:
-                param.data = np.asarray(state[name], dtype=np.float64).copy()
+                param.data = np.asarray(state[name], dtype=param.data.dtype).copy()
         for name, (module, local) in own_buffers.items():
             if name in state:
                 module._set_buffer(local, np.asarray(state[name]))
@@ -291,7 +299,7 @@ class BatchNorm2d(Module):
         else:
             mean_arr = self.running_mean.reshape(1, -1, 1, 1)
             var_arr = self.running_var.reshape(1, -1, 1, 1)
-            normalized = (x - mean_arr) * (1.0 / np.sqrt(var_arr + self.eps))
+            normalized = (x - mean_arr) * (1.0 / get_backend().sqrt(var_arr + self.eps))
         scale = self.weight.reshape(1, self.num_features, 1, 1)
         shift = self.bias.reshape(1, self.num_features, 1, 1)
         return normalized * scale + shift
@@ -326,7 +334,9 @@ class BatchNorm1d(Module):
             )
             normalized = (x - mean) / (var + self.eps).sqrt()
         else:
-            normalized = (x - self.running_mean) * (1.0 / np.sqrt(self.running_var + self.eps))
+            normalized = (x - self.running_mean) * (
+                1.0 / get_backend().sqrt(self.running_var + self.eps)
+            )
         return normalized * self.weight + self.bias
 
 

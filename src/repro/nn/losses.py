@@ -12,6 +12,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.nn.backend import get_dtype_policy
 from repro.nn.functional import log_softmax, one_hot
 from repro.nn.tensor import Tensor
 
@@ -41,17 +42,17 @@ def cross_entropy(
     if labels.shape[0] != logits.shape[0]:
         raise ValueError("labels and logits batch sizes differ")
     log_probs = log_softmax(logits, axis=-1)
-    hot = one_hot(labels, logits.shape[1])
+    hot = one_hot(labels, logits.shape[1], dtype=log_probs.data.dtype)
     per_sample = -(log_probs * hot).sum(axis=1)
     if weights is not None:
-        per_sample = per_sample * np.asarray(weights, dtype=np.float64)
+        per_sample = per_sample * np.asarray(weights, dtype=per_sample.data.dtype)
     return _reduce(per_sample, reduction)
 
 
 def nll_loss(log_probs: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
     """Negative log-likelihood from log-probabilities."""
     labels = np.asarray(labels, dtype=np.int64)
-    hot = one_hot(labels, log_probs.shape[1])
+    hot = one_hot(labels, log_probs.shape[1], dtype=log_probs.data.dtype)
     per_sample = -(log_probs * hot).sum(axis=1)
     return _reduce(per_sample, reduction)
 
@@ -72,12 +73,18 @@ def l1_norm(tensor: Tensor) -> Tensor:
 
 
 def _reduce(values: Tensor, reduction: str) -> Tensor:
+    if reduction == "none":
+        return values
+    policy = get_dtype_policy()
+    if policy.upcast_loss and values.data.dtype != policy.loss_dtype:
+        # Float32 compute path: accumulate the scalar loss in float64 so the
+        # reduction over a batch does not lose low-order bits.  The cast op's
+        # backward returns the gradient to float32 before it reaches the graph.
+        values = values.astype(policy.loss_dtype)
     if reduction == "mean":
         return values.mean()
     if reduction == "sum":
         return values.sum()
-    if reduction == "none":
-        return values
     raise ValueError(f"unknown reduction {reduction!r}")
 
 

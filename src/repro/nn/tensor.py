@@ -14,6 +14,11 @@ autograd.  The design goals, in order:
 
 Only float64/float32 data participates in differentiation; integer tensors
 may be used for indexing/labels but never require grad.
+
+Array math is routed through the active :class:`~repro.nn.backend.ArrayBackend`
+(see :mod:`repro.nn.backend`), and dtype coercion follows the active
+:class:`~repro.nn.backend.DtypePolicy`; under the defaults (NumPy backend,
+float64 policy) both reproduce the historical behaviour bit-for-bit.
 """
 
 from __future__ import annotations
@@ -21,6 +26,8 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
+
+from repro.nn.backend import get_backend, get_dtype_policy
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
@@ -51,7 +58,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array data; coerced to ``float64`` when ``requires_grad`` is set.
+        Array data; coerced per the active dtype policy (by default:
+        to ``float64`` when ``requires_grad`` is set on non-floating data).
     requires_grad:
         Whether gradients should be accumulated into ``.grad`` on backward.
     """
@@ -68,8 +76,9 @@ class Tensor:
         if isinstance(data, Tensor):
             data = data.data
         arr = np.asarray(data)
-        if requires_grad and not np.issubdtype(arr.dtype, np.floating):
-            arr = arr.astype(np.float64)
+        # Leaf construction follows the active dtype policy; op outputs
+        # (constructed with _parents) keep whatever dtype the op produced.
+        arr = get_dtype_policy().coerce_leaf(arr, requires_grad, not _parents)
         self.data: np.ndarray = arr
         self.requires_grad: bool = bool(requires_grad and _grad_enabled)
         self.grad: Optional[np.ndarray] = None
@@ -162,7 +171,8 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            grad_dtype = get_dtype_policy().grad_dtype(self.data.dtype)
+            self.grad = np.array(grad, dtype=grad_dtype, copy=True)
         else:
             self.grad += grad
 
@@ -176,14 +186,15 @@ class Tensor:
         """
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor that does not require grad")
+        seed_dtype = get_dtype_policy().grad_dtype(self.data.dtype)
         if grad is None:
             if self.size != 1:
                 raise RuntimeError("grad must be supplied for non-scalar backward()")
-            seed = np.ones_like(self.data, dtype=np.float64)
+            seed = np.ones_like(self.data, dtype=seed_dtype)
         else:
-            seed = np.asarray(grad, dtype=np.float64)
+            seed = np.asarray(grad, dtype=seed_dtype)
             if seed.shape != self.shape:
-                seed = np.broadcast_to(seed, self.shape).astype(np.float64)
+                seed = np.broadcast_to(seed, self.shape).astype(seed_dtype)
 
         order: List[Tensor] = []
         visited: Set[int] = set()
@@ -283,14 +294,15 @@ class Tensor:
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = self._lift(other)
-        out_data = self.data @ other.data
+        backend = get_backend()
+        out_data = backend.matmul(self.data, other.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 if other.data.ndim == 1:
                     self._accumulate(np.outer(grad, other.data) if grad.ndim == 1 else grad[..., None] * other.data)
                 else:
-                    g = grad @ np.swapaxes(other.data, -1, -2)
+                    g = backend.matmul(grad, np.swapaxes(other.data, -1, -2))
                     self._accumulate(_unbroadcast(g, self.shape))
             if other.requires_grad:
                 if self.data.ndim == 1 and other.data.ndim == 1:
@@ -298,7 +310,7 @@ class Tensor:
                 elif self.data.ndim == 1:
                     other._accumulate(np.outer(self.data, grad))
                 else:
-                    g = np.swapaxes(self.data, -1, -2) @ grad
+                    g = backend.matmul(np.swapaxes(self.data, -1, -2), grad)
                     other._accumulate(_unbroadcast(g, other.shape))
 
         return self._make(out_data, (self, other), backward, "matmul")
@@ -307,7 +319,7 @@ class Tensor:
     # Unary math
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        out_data = get_backend().exp(self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
@@ -318,10 +330,10 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
 
-        return self._make(np.log(self.data), (self,), backward, "log")
+        return self._make(get_backend().log(self.data), (self,), backward, "log")
 
     def sqrt(self) -> "Tensor":
-        out_data = np.sqrt(self.data)
+        out_data = get_backend().sqrt(self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * 0.5 / out_data)
@@ -329,7 +341,7 @@ class Tensor:
         return self._make(out_data, (self,), backward, "sqrt")
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        out_data = get_backend().tanh(self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - out_data**2))
@@ -337,7 +349,7 @@ class Tensor:
         return self._make(out_data, (self,), backward, "tanh")
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out_data = get_backend().sigmoid(self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
@@ -353,12 +365,13 @@ class Tensor:
         return self._make(self.data * mask, (self,), backward, "relu")
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
+        backend = get_backend()
+        sign = backend.sign(self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * sign)
 
-        return self._make(np.abs(self.data), (self,), backward, "abs")
+        return self._make(backend.abs(self.data), (self,), backward, "abs")
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values; gradient is passed through only inside the range."""
@@ -367,13 +380,32 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return self._make(np.clip(self.data, low, high), (self,), backward, "clip")
+        return self._make(
+            get_backend().clip(self.data, low, high), (self,), backward, "clip"
+        )
+
+    def astype(self, dtype) -> "Tensor":
+        """Differentiable dtype cast; the gradient is cast back on the way down.
+
+        The float32 dtype policy uses this to accumulate loss reductions in
+        float64 while activations and gradients stay float32 (the backward
+        re-casts the incoming float64 gradient to the source dtype).
+        """
+        dtype = np.dtype(dtype)
+        if self.data.dtype == dtype:
+            return self
+        source_dtype = self.data.dtype
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.asarray(grad).astype(source_dtype, copy=False))
+
+        return self._make(self.data.astype(dtype), (self,), backward, "cast")
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        out_data = get_backend().sum(self.data, axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_expand_reduced(grad, self.shape, axis, keepdims))
@@ -381,7 +413,7 @@ class Tensor:
         return self._make(out_data, (self,), backward, "sum")
 
     def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.mean(axis=axis, keepdims=keepdims)
+        out_data = get_backend().mean(self.data, axis=axis, keepdims=keepdims)
         scale = self.size / max(out_data.size, 1)
 
         def backward(grad: np.ndarray) -> None:
@@ -390,7 +422,7 @@ class Tensor:
         return self._make(out_data, (self,), backward, "mean")
 
     def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out_data = get_backend().amax(self.data, axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
             expanded = _expand_reduced(grad, self.shape, axis, keepdims)
@@ -458,7 +490,7 @@ class Tensor:
 
     def pad(self, pad_width: Sequence[Tuple[int, int]]) -> "Tensor":
         pad_width = tuple(tuple(p) for p in pad_width)
-        out_data = np.pad(self.data, pad_width)
+        out_data = get_backend().pad(self.data, pad_width)
         slices = tuple(
             slice(lo, dim + lo) for (lo, _hi), dim in zip(pad_width, self.shape)
         )
@@ -561,7 +593,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     a = Tensor._lift(a)
     b = Tensor._lift(b)
     cond = np.asarray(condition, dtype=bool)
-    out_data = np.where(cond, a.data, b.data)
+    out_data = get_backend().where(cond, a.data, b.data)
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:

@@ -18,8 +18,30 @@ import pytest
 
 from repro.nn import functional as F
 from repro.nn import tensor as T
+from repro.nn.backend import available_backends, available_dtype_policies, use_backend
 from repro.nn.diagnostics import gradcheck
 from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(
+    params=[
+        (backend, dtype)
+        for backend in available_backends()
+        for dtype in available_dtype_policies()
+    ],
+    ids=lambda param: f"{param[0]}-{param[1]}",
+)
+def backend_policy(request):
+    """Activate every backend × dtype-policy combination for the sweep.
+
+    Under the float32 policy the leaves built by ``_check`` are cast to
+    float32 at construction, so the analytic pass genuinely runs in
+    float32 (gradcheck pins its numerical pass to float64 and widens the
+    tolerances automatically).
+    """
+    backend, dtype = request.param
+    with use_backend(backend, compute_dtype=dtype):
+        yield request.param
 
 
 def _stable_seed(name):
@@ -151,7 +173,7 @@ ALL_CASES = (
 @pytest.mark.parametrize(
     "name,fn,shapes,positive", ALL_CASES, ids=[case[0] for case in ALL_CASES]
 )
-def test_gradcheck_sweep_float64(name, fn, shapes, positive):
+def test_gradcheck_sweep(backend_policy, name, fn, shapes, positive):
     _check(fn, shapes, seed=_stable_seed(name), positive=positive, op_name=name)
 
 
