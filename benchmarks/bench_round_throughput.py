@@ -1,6 +1,6 @@
 """Round throughput: execution engines and nn array backends.
 
-Two sweeps, one JSON:
+Three sweeps, one JSON:
 
 1. Sequential vs process execution on a synthetic tabular federation at
    2, 4, and 8 clients (the original bench; row schema unchanged).
@@ -10,6 +10,13 @@ Two sweeps, one JSON:
    policies.  Rows reuse the same timing fields plus the configuration
    axes and final test accuracy, so accuracy/throughput trade-offs are
    recorded together.
+3. Sequential vs batched execution on a *cohort-scale* conv federation
+   (many clients, a handful of samples each — the regime MIA evaluation
+   reruns constantly).  There the sequential engine is dominated by Python
+   dispatch over K tiny graphs; the batched engine stacks the cohort into
+   grouped kernels.  Each row also records a digest of the final global
+   state, and the sweep asserts the batched digest matches sequential
+   bit-for-bit on every backend x dtype combo.
 
 Writes ``BENCH_round_throughput.json`` at the repo root — the baseline
 file future perf work diffs against.
@@ -26,16 +33,22 @@ The process backend can only beat sequential when real cores are available:
 with 4 workers on >=4 cores an 8-client round is expected to run >= 2x
 faster.  On fewer cores the backend still works (and stays bitwise-identical
 — see tests/fl/test_executor.py) but pays pickling overhead with no
-parallelism to recoup it, so the speedup assertion is gated on core count
-and the JSON records ``cpu_count`` so readers can interpret the numbers.
+parallelism to recoup it, so the speedup assertion is gated on core count.
+The JSON records ``cpu_count`` (the machine's cores) and ``cpus_visible``
+(what the process affinity mask actually allows — in containers and cgroup
+slices these routinely differ) so readers can interpret the numbers; the
+gate uses the visible count, since that is what the worker pool can use.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
 from pathlib import Path
+
+import numpy as np
 
 from repro.data.partition import partition_iid
 from repro.data.synthetic import (
@@ -56,8 +69,20 @@ CLIENT_COUNTS = (2, 4, 8)
 BACKENDS = ("sequential", "process")
 NUM_WORKERS = 4
 ROUNDS = 3
-WARMUP_ROUNDS = 1
+#: Two warm-up rounds: the first absorbs worker-pool spawn + client
+#: pickling on the process backend (at ROUNDS=3 a cold pool would dominate
+#: the measurement), the second catches stragglers like lazy workspace
+#: allocation so the timed window sees steady-state rounds only.
+WARMUP_ROUNDS = 2
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_round_throughput.json"
+
+
+def _visible_cpus() -> int:
+    """CPUs the scheduler will actually let this process use."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux platforms
+        return os.cpu_count() or 1
 
 _SPEC = TabularSpec(num_classes=8, num_features=64, flip_probability=0.1)
 
@@ -73,6 +98,13 @@ NN_COMBOS = (
 #: model rather than on chance-level noise.
 NN_ROUNDS = 11
 _IMAGE_SPEC = ImageSpec(num_classes=4, channels=1, height=16, width=16, noise_scale=0.1)
+
+#: Cohort-scale conv sweep: many clients, a handful of images each.  Per
+#: client the conv graph is tiny, so the sequential engine spends its time
+#: in Python dispatch — exactly the regime the batched executor targets.
+BATCHED_CLIENTS = 24
+BATCHED_ROUNDS = 8
+_COHORT_SPEC = ImageSpec(num_classes=4, channels=1, height=8, width=8, noise_scale=0.1)
 
 
 def _build_federation(num_clients: int, seed: int = 0):
@@ -177,6 +209,81 @@ def _time_nn_combo(nn_backend: str, compute_dtype: str) -> dict:
     }
 
 
+def _build_cohort_conv_federation(num_clients: int = BATCHED_CLIENTS, seed: int = 0):
+    dataset = generate_image_dataset(
+        _COHORT_SPEC,
+        samples_per_class=num_clients * 4 // _COHORT_SPEC.num_classes,
+        seed=seed,
+    )
+    shards = partition_iid(dataset, num_clients, seed=derive_rng(seed, "bench-bp"))
+
+    def factory():
+        return build_model(
+            "vgg", _COHORT_SPEC.num_classes, in_channels=_COHORT_SPEC.channels,
+            stage_channels=(8, 16), convs_per_stage=1,
+            seed=derive_rng(seed, "bench-bm"),
+        )
+
+    server = FLServer(factory)
+    clients = [
+        FLClient(i, shards[i], factory, ClientConfig(lr=5e-2, batch_size=16),
+                 seed=derive_rng(seed, "bench-bc", i))
+        for i in range(num_clients)
+    ]
+    return server, clients
+
+
+def _state_digest(state: dict) -> str:
+    digest = hashlib.sha256()
+    for name in sorted(state):
+        value = np.ascontiguousarray(state[name])
+        digest.update(name.encode())
+        digest.update(str(value.dtype).encode())
+        digest.update(str(value.shape).encode())
+        digest.update(value.tobytes())
+    return digest.hexdigest()
+
+
+def _time_batched_combo(nn_backend: str, compute_dtype: str) -> list:
+    """Sequential vs batched rows for the cohort federation under one combo.
+
+    Both executors run the identical federation; each row carries a digest
+    of the final global state so the JSON itself documents that batching
+    left the trained bits untouched.
+    """
+    rows = []
+    for executor_backend in ("sequential", "batched"):
+        with use_backend(nn_backend, compute_dtype=compute_dtype):
+            server, clients = _build_cohort_conv_federation()
+            executor = make_executor(backend=executor_backend)
+            with FederatedSimulation(server, clients, executor=executor) as sim:
+                sim.run(WARMUP_ROUNDS)
+                start = time.perf_counter()
+                sim.run(BATCHED_ROUNDS)
+                elapsed = time.perf_counter() - start
+                metrics = sim.history.round_metrics[WARMUP_ROUNDS:]
+            digest = _state_digest(server.global_state())
+        mean_round = elapsed / BATCHED_ROUNDS
+        rows.append({
+            "backend": executor_backend,
+            "nn_backend": nn_backend,
+            "compute_dtype": compute_dtype,
+            "clients": len(clients),
+            "rounds": BATCHED_ROUNDS,
+            "rounds_per_sec": (1.0 / mean_round) if mean_round > 0 else float("inf"),
+            "mean_round_sec": mean_round,
+            "mean_client_compute_sec": sum(
+                m.total_compute_seconds for m in metrics
+            ) / len(metrics),
+            "mb_broadcast_per_round": sum(m.bytes_broadcast for m in metrics)
+            / len(metrics) / 1e6,
+            "mb_aggregated_per_round": sum(m.bytes_aggregated for m in metrics)
+            / len(metrics) / 1e6,
+            "state_digest": digest,
+        })
+    return rows
+
+
 def run_bench() -> dict:
     rows = [
         _time_backend(backend, num_clients)
@@ -187,16 +294,55 @@ def run_bench() -> dict:
         _time_nn_combo(nn_backend, compute_dtype)
         for nn_backend, compute_dtype in NN_COMBOS
     ]
+    batched_rows = [
+        row
+        for nn_backend, compute_dtype in NN_COMBOS
+        for row in _time_batched_combo(nn_backend, compute_dtype)
+    ]
     report = {
         "benchmark": "round_throughput",
         "num_workers": NUM_WORKERS,
         "cpu_count": os.cpu_count(),
+        "cpus_visible": _visible_cpus(),
         "rows": rows,
         "nn_backend_rows": nn_rows,
         "nn_backend_speedup_vs_reference": _nn_speedup(nn_rows),
+        "batched_rows": batched_rows,
+        "batched_speedup_vs_sequential": _batched_speedup(batched_rows),
+        "batched_digest_match": _batched_digest_match(batched_rows),
     }
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     return report
+
+
+def _batched_speedup(batched_rows) -> dict:
+    """Per-combo batched-over-sequential round-throughput ratio."""
+    by_key = {
+        (row["backend"], row["nn_backend"], row["compute_dtype"]): row
+        for row in batched_rows
+    }
+    return {
+        f"{nn_backend}-{compute_dtype}": (
+            by_key[("sequential", nn_backend, compute_dtype)]["mean_round_sec"]
+            / by_key[("batched", nn_backend, compute_dtype)]["mean_round_sec"]
+        )
+        for nn_backend, compute_dtype in NN_COMBOS
+    }
+
+
+def _batched_digest_match(batched_rows) -> dict:
+    """Whether batched reproduced the sequential bits, per combo."""
+    by_key = {
+        (row["backend"], row["nn_backend"], row["compute_dtype"]): row
+        for row in batched_rows
+    }
+    return {
+        f"{nn_backend}-{compute_dtype}": (
+            by_key[("sequential", nn_backend, compute_dtype)]["state_digest"]
+            == by_key[("batched", nn_backend, compute_dtype)]["state_digest"]
+        )
+        for nn_backend, compute_dtype in NN_COMBOS
+    }
 
 
 def _nn_speedup(nn_rows) -> dict:
@@ -235,11 +381,29 @@ def test_round_throughput(benchmark):
             f"accuracy {row['test_accuracy']:.3f}"
         )
     print(f"  nn speedups: {report['nn_backend_speedup_vs_reference']}")
+    for row in report["batched_rows"]:
+        print(
+            f"  {row['backend']:>10s} cohort "
+            f"{row['nn_backend']}/{row['compute_dtype']}: "
+            f"{row['rounds_per_sec']:.2f} rounds/sec"
+        )
+    print(f"  batched speedups: {report['batched_speedup_vs_sequential']}")
     assert OUTPUT.exists()
     # Parallel wins require real cores; a single-core container pays IPC
     # overhead with nothing to parallelize over, so only assert there.
-    if (os.cpu_count() or 1) >= NUM_WORKERS:
+    # Gate on the affinity-visible count: os.cpu_count() reports the
+    # machine, not what a container/cgroup lets the pool use.
+    if report["cpus_visible"] >= NUM_WORKERS:
         assert _speedup(report, 8) >= 2.0
+    # Batching the cohort must reproduce the sequential bits exactly on
+    # every backend x dtype combo...
+    assert all(report["batched_digest_match"].values()), report[
+        "batched_digest_match"
+    ]
+    # ...and collapse per-client Python dispatch into grouped kernels.  The
+    # published JSON shows >=3x at accelerated/float32; assert a safety
+    # margin below that so a loaded CI box doesn't flake the suite.
+    assert report["batched_speedup_vs_sequential"]["accelerated-float32"] >= 2.0
     # The accelerated float32 path must beat the reference by >=1.3x on
     # this conv-heavy workload while staying within 0.5pp of its accuracy.
     speedups = report["nn_backend_speedup_vs_reference"]
@@ -259,3 +423,5 @@ if __name__ == "__main__":
     for count in CLIENT_COUNTS:
         print(f"speedup @{count} clients: {_speedup(generated, count):.2f}x")
     print(f"nn speedups: {generated['nn_backend_speedup_vs_reference']}")
+    print(f"batched speedups: {generated['batched_speedup_vs_sequential']}")
+    print(f"batched digests match: {generated['batched_digest_match']}")

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 #: Round-execution backends understood by :class:`ExecutionConfig`.
-EXECUTION_BACKENDS = ("sequential", "process")
+EXECUTION_BACKENDS = ("sequential", "process", "batched")
 
 #: Aggregation rules understood by :class:`ExecutionConfig` and the server
 #: (implemented in :mod:`repro.fl.aggregation`).
@@ -31,8 +31,12 @@ class ExecutionConfig:
     ----------
     backend:
         ``"sequential"`` trains clients one after another in-process;
-        ``"process"`` fans the round out over a persistent worker pool.
-        Both produce bitwise-identical results for seeded runs (as long as
+        ``"process"`` fans the round out over a persistent worker pool;
+        ``"batched"`` stacks same-architecture plain-SGD clients along a
+        leading client axis and trains the whole cohort through grouped
+        kernels (clients it cannot stack fall back to the sequential
+        path per client, see :mod:`repro.fl.batched`).  All three produce
+        bitwise-identical results for seeded runs (as long as
         ``wire_dtype`` stays ``None``).
     num_workers:
         Worker-process count for the ``process`` backend; ``None`` uses all

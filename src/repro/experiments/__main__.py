@@ -46,9 +46,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend",
         default="sequential",
-        choices=("sequential", "process"),
+        choices=("sequential", "process", "batched"),
         help="round-execution engine for federated experiments "
-        "(process = parallel clients via a persistent worker pool)",
+        "(process = parallel clients via a persistent worker pool; "
+        "batched = same-architecture clients stacked into grouped kernels, "
+        "bitwise-identical to sequential)",
     )
     parser.add_argument(
         "--num-workers",

@@ -72,9 +72,10 @@ from repro.fl.faults import (
     StragglerTimeout,
     enact_fault,
 )
-from repro.nn.diagnostics import OpStat, op_stats_delta
+from repro.nn.diagnostics import WORKSPACE_STAT_KEY, OpStat, op_stats_delta
 from repro.nn.diagnostics import get_op_stats as _get_op_stats
 from repro.nn.diagnostics import profiling_enabled as _op_profiling_enabled
+from repro.nn.diagnostics import workspace_op_stat as _workspace_op_stat
 from repro.nn.serialization import (
     pack_state_dict,
     state_dict_nbytes,
@@ -86,7 +87,7 @@ from repro.utils.timer import Stopwatch
 StateDict = Dict[str, np.ndarray]
 _log = get_logger("fl.executor")
 
-BACKENDS = ("sequential", "process")
+BACKENDS = ("sequential", "process", "batched")
 
 
 class RoundExecutionError(RuntimeError):
@@ -113,7 +114,10 @@ class RoundExecution:
     ``op_stats`` holds the round's per-op counter deltas when op profiling
     is on (``repro.nn.diagnostics``); empty otherwise.  On the process
     backend it covers coordinator-side ops only — worker processes keep
-    their own counters.
+    their own counters.  When the active nn backend pools workspaces, a
+    synthetic entry under :data:`~repro.nn.diagnostics.WORKSPACE_STAT_KEY`
+    reports the round's freelist hits/misses and the bytes resident in the
+    pool (see ``repro.nn.diagnostics.workspace_op_stat``).
     """
 
     results: List[ClientExecution]
@@ -213,6 +217,25 @@ class RoundExecutor(ABC):
             or self.client_timeout is not None
         )
 
+    def _profile_begin(self):
+        """Snapshot op + workspace counters when profiling is on (else ``None``)."""
+        if not _op_profiling_enabled():
+            return None
+        from repro.nn.backend import get_backend
+
+        return (_get_op_stats(), get_backend().workspace_stats())
+
+    def _profile_end(self, token) -> Dict[str, "OpStat"]:
+        """The round's op-stat delta, plus the synthetic workspace entry."""
+        if token is None:
+            return {}
+        op_before, workspace_before = token
+        stats = op_stats_delta(op_before)
+        workspace = _workspace_op_stat(workspace_before)
+        if workspace is not None:
+            stats[WORKSPACE_STAT_KEY] = workspace
+        return stats
+
     def _decide(self, round_index: int, client_id: int, attempt: int) -> FaultDecision:
         if self.fault_injector is None:
             return NO_FAULT
@@ -302,84 +325,19 @@ class SequentialExecutor(RoundExecutor):
         round_index = server.round
         tolerant = self._tolerant
         reference = self._byzantine_reference(server)
-        op_before = _get_op_stats() if _op_profiling_enabled() else None
+        profile_token = self._profile_begin()
         results: List[ClientExecution] = []
         failures: List[ClientFailure] = []
         retries: Dict[int, int] = {}
         bytes_broadcast = 0
         bytes_aggregated = 0
         for client in participants:
-            # Snapshot for rollback: a failed attempt may have advanced the
-            # model, optimizer, or RNG state mid-training; deep-copying the
-            # snapshot keeps it immune to that mutation.
-            snapshot = client.get_mutable_state().clone() if tolerant else None
-            attempt = 0
-            while True:
-                decision = self._decide(round_index, client.client_id, attempt)
-                failure_kind = ""
-                retriable = False
-                error = ""
-                try:
-                    if decision.kind == "straggler" and (
-                        self.client_timeout is not None
-                        and decision.delay_seconds > self.client_timeout
-                    ):
-                        # Simulate the timeout instead of sleeping it out.
-                        raise StragglerTimeout(
-                            f"injected {decision.delay_seconds:.1f}s delay exceeds "
-                            f"client_timeout={self.client_timeout:.1f}s"
-                        )
-                    enact_fault(decision, in_worker=False)
-                    state = server.broadcast(client.client_id)
-                    bytes_broadcast += state_dict_nbytes(state)
-                    client.receive_global(state)
-                    with Stopwatch() as watch:
-                        update = client.local_update()
-                except InjectedClientCrash as exc:
-                    kind = "worker_death" if decision.kind == "worker_death" else "crash"
-                    failure_kind, retriable, error = kind, False, repr(exc)
-                except StragglerTimeout as exc:
-                    failure_kind, retriable, error = "straggler", True, str(exc)
-                except InjectedTransientError as exc:
-                    failure_kind, retriable, error = "transient", True, repr(exc)
-                except Exception as exc:
-                    failure_kind, retriable, error = "error", True, repr(exc)
-                else:
-                    update = self._corrupt_update(round_index, update, reference)
-                    bytes_aggregated += state_dict_nbytes(update.state)
-                    results.append(
-                        ClientExecution(update=update, compute_seconds=watch.elapsed)
-                    )
-                    if attempt:
-                        retries[client.client_id] = attempt
-                    break
-                if snapshot is None:
-                    raise RoundExecutionError(
-                        f"client {client.client_id} failed during local_update: {error}"
-                    )
-                client.set_mutable_state(snapshot.clone())
-                if retriable and attempt < self.max_retries:
-                    delay = self.backoff.delay(attempt)
-                    _log.info(
-                        "client %d attempt %d failed (%s); retrying in %.2fs",
-                        client.client_id,
-                        attempt + 1,
-                        failure_kind,
-                        delay,
-                    )
-                    if delay > 0:
-                        time.sleep(delay)
-                    attempt += 1
-                    continue
-                failures.append(
-                    ClientFailure(
-                        client_id=client.client_id,
-                        kind=failure_kind,
-                        attempts=attempt + 1,
-                        message=error,
-                    )
-                )
-                break
+            sent, received = self._run_client(
+                client, server, round_index, tolerant, reference,
+                results, failures, retries,
+            )
+            bytes_broadcast += sent
+            bytes_aggregated += received
         self._check_participation(len(participants), len(results), failures)
         return RoundExecution(
             results=results,
@@ -387,8 +345,101 @@ class SequentialExecutor(RoundExecutor):
             bytes_aggregated=bytes_aggregated,
             failures=failures,
             retries=retries,
-            op_stats=op_stats_delta(op_before) if op_before is not None else {},
+            op_stats=self._profile_end(profile_token),
         )
+
+    def _run_client(
+        self,
+        client: FLClient,
+        server,
+        round_index: int,
+        tolerant: bool,
+        reference: Optional[StateDict],
+        results: List[ClientExecution],
+        failures: List[ClientFailure],
+        retries: Dict[int, int],
+    ) -> Tuple[int, int]:
+        """One client's broadcast/train/collect cycle with the full retry policy.
+
+        Appends to ``results``/``failures``/``retries`` in place and returns
+        the ``(bytes_broadcast, bytes_aggregated)`` the client contributed
+        (every attempt's broadcast counts, matching real wire traffic).
+        Shared with :class:`~repro.fl.batched.BatchedExecutor`, which routes
+        unbatchable clients through this exact path.
+        """
+        bytes_broadcast = 0
+        bytes_aggregated = 0
+        # Snapshot for rollback: a failed attempt may have advanced the
+        # model, optimizer, or RNG state mid-training; deep-copying the
+        # snapshot keeps it immune to that mutation.
+        snapshot = client.get_mutable_state().clone() if tolerant else None
+        attempt = 0
+        while True:
+            decision = self._decide(round_index, client.client_id, attempt)
+            failure_kind = ""
+            retriable = False
+            error = ""
+            try:
+                if decision.kind == "straggler" and (
+                    self.client_timeout is not None
+                    and decision.delay_seconds > self.client_timeout
+                ):
+                    # Simulate the timeout instead of sleeping it out.
+                    raise StragglerTimeout(
+                        f"injected {decision.delay_seconds:.1f}s delay exceeds "
+                        f"client_timeout={self.client_timeout:.1f}s"
+                    )
+                enact_fault(decision, in_worker=False)
+                state = server.broadcast(client.client_id)
+                bytes_broadcast += state_dict_nbytes(state)
+                client.receive_global(state)
+                with Stopwatch() as watch:
+                    update = client.local_update()
+            except InjectedClientCrash as exc:
+                kind = "worker_death" if decision.kind == "worker_death" else "crash"
+                failure_kind, retriable, error = kind, False, repr(exc)
+            except StragglerTimeout as exc:
+                failure_kind, retriable, error = "straggler", True, str(exc)
+            except InjectedTransientError as exc:
+                failure_kind, retriable, error = "transient", True, repr(exc)
+            except Exception as exc:
+                failure_kind, retriable, error = "error", True, repr(exc)
+            else:
+                update = self._corrupt_update(round_index, update, reference)
+                bytes_aggregated += state_dict_nbytes(update.state)
+                results.append(
+                    ClientExecution(update=update, compute_seconds=watch.elapsed)
+                )
+                if attempt:
+                    retries[client.client_id] = attempt
+                return bytes_broadcast, bytes_aggregated
+            if snapshot is None:
+                raise RoundExecutionError(
+                    f"client {client.client_id} failed during local_update: {error}"
+                )
+            client.set_mutable_state(snapshot.clone())
+            if retriable and attempt < self.max_retries:
+                delay = self.backoff.delay(attempt)
+                _log.info(
+                    "client %d attempt %d failed (%s); retrying in %.2fs",
+                    client.client_id,
+                    attempt + 1,
+                    failure_kind,
+                    delay,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+                continue
+            failures.append(
+                ClientFailure(
+                    client_id=client.client_id,
+                    kind=failure_kind,
+                    attempts=attempt + 1,
+                    message=error,
+                )
+            )
+            return bytes_broadcast, bytes_aggregated
 
 
 # ----------------------------------------------------------------------
@@ -613,7 +664,7 @@ class ParallelExecutor(RoundExecutor):
         round_index = server.round
         tolerant = self._tolerant
         reference = self._byzantine_reference(server)
-        op_before = _get_op_stats() if _op_profiling_enabled() else None
+        profile_token = self._profile_begin()
         by_id = {client.client_id: client for client in participants}
         payloads, bytes_broadcast = self._broadcast_payloads(participants, server)
         payload_by_id = dict(zip(by_id, payloads))
@@ -815,7 +866,7 @@ class ParallelExecutor(RoundExecutor):
             bytes_aggregated=bytes_aggregated,
             failures=failures,
             retries=retries,
-            op_stats=op_stats_delta(op_before) if op_before is not None else {},
+            op_stats=self._profile_end(profile_token),
         )
 
 
@@ -860,6 +911,10 @@ def make_executor(
     )
     if backend == "sequential":
         return SequentialExecutor(**policy)
+    if backend == "batched":
+        from repro.fl.batched import BatchedExecutor
+
+        return BatchedExecutor(**policy)
     if backend == "process":
         return ParallelExecutor(
             num_workers=num_workers,

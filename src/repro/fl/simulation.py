@@ -79,7 +79,12 @@ class RoundMetrics:
     #: ``inf`` flags non-finite updates.  Empty when screening is off.
     anomaly_scores: Dict[int, float] = field(default_factory=dict)
     #: Per-op counter deltas for the round when op profiling is enabled
-    #: (see :mod:`repro.nn.diagnostics`); empty otherwise.
+    #: (see :mod:`repro.nn.diagnostics`); empty otherwise.  Besides the
+    #: profiled ops, a synthetic ``"workspace"`` entry reports the round's
+    #: workspace-freelist traffic when the active backend pools buffers:
+    #: ``calls`` holds the round's pool hits, ``backward_calls`` its misses,
+    #: and ``bytes_out`` the bytes currently parked in the pool (see
+    #: :func:`repro.nn.diagnostics.workspace_op_stat`).
     op_stats: Dict[str, "OpStat"] = field(default_factory=dict)
 
     @property

@@ -40,13 +40,28 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
 #: Environment variables activating a backend / dtype policy at import time.
 BACKEND_ENV_VAR = "REPRO_NN_BACKEND"
 DTYPE_ENV_VAR = "REPRO_NN_COMPUTE_DTYPE"
+
+
+class WorkspaceStats(NamedTuple):
+    """Freelist effectiveness counters reported by :meth:`ArrayBackend.workspace_stats`.
+
+    ``hits``/``misses`` count pool acquisitions served from the freelist
+    versus freshly allocated (cumulative since the last
+    :meth:`~ArrayBackend.clear_workspaces`); ``buffers``/``resident_bytes``
+    describe what is currently parked in the pool.
+    """
+
+    hits: int
+    misses: int
+    buffers: int
+    resident_bytes: int
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -265,6 +280,16 @@ class ArrayBackend:
     def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return a @ b
 
+    def batched_matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """GEMM over a leading batch axis: ``(G, M, K) @ (G, K, N) -> (G, M, N)``.
+
+        NumPy's batched ``matmul`` runs each slice through the same GEMM
+        kernel as a 2-D call, so the result is bitwise identical to G
+        independent 2-D products — the property the batched executor's
+        per-client equivalence rests on.
+        """
+        return np.matmul(a, b)
+
     def einsum(self, subscripts: str, *operands: np.ndarray) -> np.ndarray:
         return np.einsum(subscripts, *operands)
 
@@ -360,13 +385,197 @@ class ArrayBackend:
             grad_x = self.col2im(grad_cols, x_shape, kernel, stride, padding)
         return grad_x, grad_w, grad_b
 
+    # -- grouped (client-batched) conv machinery -----------------------
+    def grouped_im2col(
+        self, images: np.ndarray, groups: int, kernel: int, stride: int, padding: int
+    ) -> Tuple[np.ndarray, Tuple[int, int]]:
+        """Unfold a ``(G*N, C, H, W)`` batch into ``(G, N*OH*OW, C*KH*KW)``.
+
+        The folded batch is client-major, so slice ``g`` of the result is
+        exactly the 2-D column matrix :meth:`im2col` would produce for
+        client ``g``'s own ``(N, C, H, W)`` batch.
+        """
+        batch, channels, _, _ = images.shape
+        cols, (out_h, out_w) = self.im2col(images, kernel, stride, padding)
+        per = batch // groups
+        return (
+            cols.reshape(groups, per * out_h * out_w, channels * kernel * kernel),
+            (out_h, out_w),
+        )
+
+    def grouped_col2im(
+        self,
+        cols: np.ndarray,
+        image_shape: Tuple[int, int, int, int],
+        kernel: int,
+        stride: int,
+        padding: int,
+    ) -> np.ndarray:
+        """Adjoint of :meth:`grouped_im2col`; returns ``(G*N, C, H, W)`` images."""
+        return self.col2im(
+            cols.reshape(-1, cols.shape[-1]), image_shape, kernel, stride, padding
+        )
+
+    def grouped_conv2d_forward(
+        self,
+        x: np.ndarray,
+        w_mat3: np.ndarray,
+        bias2: Optional[np.ndarray],
+        kernel: int,
+        stride: int,
+        padding: int,
+        relu: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-group conv over a client-major ``(G*N, C, H, W)`` batch.
+
+        ``w_mat3`` is ``(G, O, C*KH*KW)`` (one flattened weight matrix per
+        group) and ``bias2`` is ``(G, O)`` or ``None``.  Returns
+        ``(out, cols3)`` where ``out`` is ``(G*N, O, OH, OW)`` and
+        ``cols3`` is the grouped backward cache.  Slice-for-slice this runs
+        the same GEMM/bias/reshape sequence as :meth:`conv2d_forward`, so
+        each group's output is bitwise identical to a standalone conv.
+        With ``relu=True`` the fused ``out * (out > 0)`` activation is
+        applied (bitwise equal to a separate relu op).
+        """
+        batch = x.shape[0]
+        out_channels = w_mat3.shape[1]
+        cols3, (out_h, out_w) = self.grouped_im2col(x, w_mat3.shape[0], kernel, stride, padding)
+        out_mat = self.batched_matmul(cols3, np.swapaxes(w_mat3, -1, -2))
+        if bias2 is not None:
+            out_mat = out_mat + bias2[:, None, :]
+        out = out_mat.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+        if relu:
+            out = out * (out > 0)
+        return out, cols3
+
+    def grouped_conv2d_backward(
+        self,
+        grad: np.ndarray,
+        out: Optional[np.ndarray],
+        cols3: np.ndarray,
+        w_mat3: np.ndarray,
+        x_shape: Tuple[int, int, int, int],
+        kernel: int,
+        stride: int,
+        padding: int,
+        need_x: bool,
+        need_weight: bool,
+        need_bias: bool,
+        relu: bool = False,
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]]:
+        """Gradients of :meth:`grouped_conv2d_forward`.
+
+        Returns ``(grad_x, grad_w_mat3, grad_bias2)`` with the grouped
+        shapes ``(G*N, C, H, W)``, ``(G, O, C*KH*KW)`` and ``(G, O)``.
+        When ``relu=True``, ``out`` (the fused forward output) supplies the
+        activation mask.  Consumes ``cols3`` exactly once.
+        """
+        groups = w_mat3.shape[0]
+        batch, out_channels, out_h, out_w = grad.shape
+        per = batch // groups
+        if relu:
+            grad = grad * (out > 0)
+        grad_mat3 = grad.transpose(0, 2, 3, 1).reshape(
+            groups, per * out_h * out_w, out_channels
+        )
+        grad_w = (
+            self.batched_matmul(np.swapaxes(grad_mat3, -1, -2), cols3)
+            if need_weight
+            else None
+        )
+        grad_b = grad_mat3.sum(axis=1) if need_bias else None
+        grad_x = None
+        if need_x:
+            grad_cols = self.batched_matmul(grad_mat3, w_mat3)
+            grad_x = self.grouped_col2im(grad_cols, x_shape, kernel, stride, padding)
+        return grad_x, grad_w, grad_b
+
+    # -- fused forward/backward primitives -----------------------------
+    def conv2d_relu_forward(
+        self,
+        x: np.ndarray,
+        w_mat: np.ndarray,
+        bias: Optional[np.ndarray],
+        kernel: int,
+        stride: int,
+        padding: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused conv2d+bias+relu; returns ``(out, cols)``.
+
+        The activation is computed as ``pre * (pre > 0)`` — the exact
+        formula ``Tensor.relu`` applies — so fusing is bitwise neutral.
+        The mask is recoverable from the output (``out > 0``), so no extra
+        cache is carried to the backward.
+        """
+        out, cols = self.conv2d_forward(x, w_mat, bias, kernel, stride, padding)
+        out = out * (out > 0)
+        return out, cols
+
+    def conv2d_relu_backward(
+        self,
+        grad: np.ndarray,
+        out: np.ndarray,
+        cols: np.ndarray,
+        w_mat: np.ndarray,
+        x_shape: Tuple[int, int, int, int],
+        kernel: int,
+        stride: int,
+        padding: int,
+        need_x: bool,
+        need_weight: bool,
+        need_bias: bool,
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]]:
+        """Gradients of :meth:`conv2d_relu_forward` (``out`` supplies the mask)."""
+        grad = grad * (out > 0)
+        return self.conv2d_backward(
+            grad, cols, w_mat, x_shape, kernel, stride, padding,
+            need_x, need_weight, need_bias,
+        )
+
+    def linear_relu_forward(
+        self, x: np.ndarray, w: np.ndarray, bias: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Fused ``relu(x @ w + bias)``; supports stacked 3-D operands.
+
+        ``x`` may be ``(N, F)`` with ``w`` ``(F, O)`` or client-stacked
+        ``(K, N, F)`` with ``w`` ``(K, F, O)`` / ``bias`` broadcastable
+        (e.g. ``(K, 1, O)``).  Runs matmul, broadcast add and
+        ``pre * (pre > 0)`` in the exact order the unfused Tensor ops do.
+        """
+        pre = self.matmul(x, w)
+        if bias is not None:
+            pre = pre + bias
+        return pre * (pre > 0)
+
+    def linear_relu_backward(
+        self,
+        grad: np.ndarray,
+        out: np.ndarray,
+        x: np.ndarray,
+        w: np.ndarray,
+        need_x: bool,
+        need_weight: bool,
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], np.ndarray]:
+        """Gradients of :meth:`linear_relu_forward`.
+
+        Returns ``(grad_x, grad_w, grad_pre)`` where ``grad_pre`` is the
+        masked upstream gradient (the bias gradient before un-broadcasting;
+        the autograd wrapper reduces it to the bias shape).
+        """
+        grad_pre = grad * (out > 0)
+        grad_x = self.matmul(grad_pre, np.swapaxes(w, -1, -2)) if need_x else None
+        grad_w = (
+            self.matmul(np.swapaxes(x, -1, -2), grad_pre) if need_weight else None
+        )
+        return grad_x, grad_w, grad_pre
+
     # -- workspace lifecycle -------------------------------------------
     def clear_workspaces(self) -> None:
         """Drop any cached scratch buffers (no-op for stateless backends)."""
 
-    def workspace_stats(self) -> Tuple[int, int]:
-        """``(buffer_count, total_bytes)`` of cached workspaces."""
-        return (0, 0)
+    def workspace_stats(self) -> WorkspaceStats:
+        """Freelist counters: ``(hits, misses, buffers, resident_bytes)``."""
+        return WorkspaceStats(0, 0, 0, 0)
 
 
 class NumpyBackend(ArrayBackend):
@@ -405,12 +614,16 @@ class AcceleratedBackend(ArrayBackend):
 
     def __init__(self) -> None:
         self._pool: Dict[Tuple[Tuple[int, ...], str], List[np.ndarray]] = {}
+        self._hits = 0
+        self._misses = 0
 
     # -- buffer pool ----------------------------------------------------
     def _acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
         bucket = self._pool.get((tuple(shape), np.dtype(dtype).str))
         if bucket:
+            self._hits += 1
             return bucket.pop()
+        self._misses += 1
         return np.empty(shape, dtype=dtype)
 
     def _release(self, *arrays: Optional[np.ndarray]) -> None:
@@ -427,13 +640,15 @@ class AcceleratedBackend(ArrayBackend):
 
     def clear_workspaces(self) -> None:
         self._pool.clear()
+        self._hits = 0
+        self._misses = 0
 
-    def workspace_stats(self) -> Tuple[int, int]:
+    def workspace_stats(self) -> WorkspaceStats:
         count = sum(len(bucket) for bucket in self._pool.values())
         total = sum(
             array.nbytes for bucket in self._pool.values() for array in bucket
         )
-        return (count, total)
+        return WorkspaceStats(self._hits, self._misses, count, total)
 
     # -- accelerated conv machinery ------------------------------------
     def im2col(
@@ -545,6 +760,162 @@ class AcceleratedBackend(ArrayBackend):
         # class docstring), so it can re-enter the pool here.
         self._release(grad_mat, cols)
         return grad_x, grad_w, grad_b
+
+    # -- accelerated grouped (client-batched) machinery ----------------
+    def grouped_im2col(
+        self, images: np.ndarray, groups: int, kernel: int, stride: int, padding: int
+    ) -> Tuple[np.ndarray, Tuple[int, int]]:
+        # Acquire the grouped 3-D shape directly: a reshape of the pooled
+        # 2-D matrix would be a view (base set) and could never be released
+        # back into the pool.
+        batch, channels, height, width = images.shape
+        out_h = conv_output_size(height, kernel, stride, padding)
+        out_w = conv_output_size(width, kernel, stride, padding)
+        scratch = None
+        if padding > 0:
+            scratch = self._acquire(
+                (batch, channels, height + 2 * padding, width + 2 * padding),
+                images.dtype,
+            )
+            scratch.fill(0.0)
+            scratch[:, :, padding:-padding, padding:-padding] = images
+            images = scratch
+        view = _window_view(images, kernel, stride, out_h, out_w)
+        per = batch // groups
+        cols3 = self._acquire(
+            (groups, per * out_h * out_w, channels * kernel * kernel), images.dtype
+        )
+        np.copyto(
+            cols3.reshape(batch, out_h, out_w, channels, kernel, kernel),
+            view.transpose(0, 2, 3, 1, 4, 5),
+        )
+        self._release(scratch)
+        return cols3, (out_h, out_w)
+
+    def grouped_conv2d_forward(
+        self,
+        x: np.ndarray,
+        w_mat3: np.ndarray,
+        bias2: Optional[np.ndarray],
+        kernel: int,
+        stride: int,
+        padding: int,
+        relu: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        batch = x.shape[0]
+        groups, out_channels = w_mat3.shape[0], w_mat3.shape[1]
+        cols3, (out_h, out_w) = self.grouped_im2col(x, groups, kernel, stride, padding)
+        out_mat = self._acquire(
+            (groups, cols3.shape[1], out_channels), np.result_type(cols3, w_mat3)
+        )
+        np.matmul(cols3, np.swapaxes(w_mat3, -1, -2), out=out_mat)
+        if bias2 is not None:
+            out_mat += bias2[:, None, :]
+        out = np.ascontiguousarray(
+            out_mat.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+        )
+        self._release(out_mat)
+        if relu:
+            np.multiply(out, out > 0, out=out)
+        return out, cols3
+
+    def grouped_conv2d_backward(
+        self,
+        grad: np.ndarray,
+        out: Optional[np.ndarray],
+        cols3: np.ndarray,
+        w_mat3: np.ndarray,
+        x_shape: Tuple[int, int, int, int],
+        kernel: int,
+        stride: int,
+        padding: int,
+        need_x: bool,
+        need_weight: bool,
+        need_bias: bool,
+        relu: bool = False,
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]]:
+        groups = w_mat3.shape[0]
+        batch, out_channels, out_h, out_w = grad.shape
+        per = batch // groups
+        masked = None
+        if relu:
+            masked = self._acquire(grad.shape, grad.dtype)
+            np.multiply(grad, out > 0, out=masked)
+            grad = masked
+        grad_mat3 = self._acquire(
+            (groups, per * out_h * out_w, out_channels), grad.dtype
+        )
+        np.copyto(
+            grad_mat3.reshape(batch, out_h, out_w, out_channels),
+            grad.transpose(0, 2, 3, 1),
+        )
+        self._release(masked)
+        grad_w = (
+            self.batched_matmul(np.swapaxes(grad_mat3, -1, -2), cols3)
+            if need_weight
+            else None
+        )
+        grad_b = grad_mat3.sum(axis=1) if need_bias else None
+        grad_x = None
+        if need_x:
+            grad_cols = self._acquire(cols3.shape, np.result_type(grad_mat3, w_mat3))
+            np.matmul(grad_mat3, w_mat3, out=grad_cols)
+            grad_x = self.grouped_col2im(grad_cols, x_shape, kernel, stride, padding)
+            self._release(grad_cols)
+        self._release(grad_mat3, cols3)
+        return grad_x, grad_w, grad_b
+
+    # -- accelerated fused primitives ----------------------------------
+    def conv2d_relu_forward(
+        self,
+        x: np.ndarray,
+        w_mat: np.ndarray,
+        bias: Optional[np.ndarray],
+        kernel: int,
+        stride: int,
+        padding: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        out, cols = self.conv2d_forward(x, w_mat, bias, kernel, stride, padding)
+        # conv2d_forward materialized a fresh contiguous output, so the
+        # activation can be applied in place (same multiply, same bits).
+        np.multiply(out, out > 0, out=out)
+        return out, cols
+
+    def conv2d_relu_backward(
+        self,
+        grad: np.ndarray,
+        out: np.ndarray,
+        cols: np.ndarray,
+        w_mat: np.ndarray,
+        x_shape: Tuple[int, int, int, int],
+        kernel: int,
+        stride: int,
+        padding: int,
+        need_x: bool,
+        need_weight: bool,
+        need_bias: bool,
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]]:
+        masked = self._acquire(grad.shape, grad.dtype)
+        np.multiply(grad, out > 0, out=masked)
+        result = self.conv2d_backward(
+            masked, cols, w_mat, x_shape, kernel, stride, padding,
+            need_x, need_weight, need_bias,
+        )
+        self._release(masked)
+        return result
+
+    def linear_relu_forward(
+        self, x: np.ndarray, w: np.ndarray, bias: Optional[np.ndarray]
+    ) -> np.ndarray:
+        pre = self._acquire(
+            x.shape[:-1] + (w.shape[-1],), np.result_type(x, w)
+        )
+        np.matmul(x, w, out=pre)
+        if bias is not None:
+            pre += bias
+        out = pre * (pre > 0)
+        self._release(pre)
+        return out
 
 
 # ----------------------------------------------------------------------

@@ -41,8 +41,21 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.nn.backend import active_backend_name, use_backend
+from repro.nn.backend import (
+    WorkspaceStats,
+    active_backend_name,
+    get_backend,
+    use_backend,
+)
 from repro.nn.tensor import Tensor
+
+#: Reserved key under which executors surface the active backend's
+#: workspace-freelist counters inside an op-stats dict (and hence
+#: ``RoundMetrics.op_stats``).  The synthetic :class:`OpStat` encodes
+#: ``calls`` = freelist hits, ``backward_calls`` = freelist misses,
+#: ``bytes_out`` = bytes resident in the pool; times stay zero.
+#: ``format_op_table`` renders it as a footer line instead of an op row.
+WORKSPACE_STAT_KEY = "workspace"
 
 #: Setting this environment variable (to anything but ``0``/``false``/empty)
 #: turns the invariant guards on at import time — workers of the process
@@ -484,10 +497,56 @@ class profile_ops:
             disable_op_profiling()
 
 
+def workspace_op_stat(
+    before: Optional["WorkspaceStats"] = None,
+) -> Optional[OpStat]:
+    """The active backend's freelist counters as a synthetic :class:`OpStat`.
+
+    ``before`` subtracts an earlier :meth:`~repro.nn.backend.ArrayBackend.
+    workspace_stats` snapshot from the hit/miss counters, turning the
+    cumulative totals into a per-round delta; resident bytes stay absolute
+    (they describe what is parked in the pool *now*).  Returns ``None``
+    when the backend pools nothing (e.g. the stateless numpy backend).
+    """
+    backend = get_backend()
+    stats = backend.workspace_stats()
+    hits, misses = stats.hits, stats.misses
+    if before is not None:
+        hits -= before.hits
+        misses -= before.misses
+    if not (hits or misses or stats.resident_bytes):
+        return None
+    return OpStat(
+        calls=hits,
+        backward_calls=misses,
+        bytes_out=stats.resident_bytes,
+        backend=backend.name,
+    )
+
+
+def _format_workspace_line(stat: OpStat) -> str:
+    return (
+        f"{WORKSPACE_STAT_KEY:<14} {stat.backend or '-':<12} "
+        f"hits={stat.calls} misses={stat.backward_calls} "
+        f"resident={stat.bytes_out / 1e6:.2f} MB"
+    )
+
+
 def format_op_table(stats: Optional[Dict[str, OpStat]] = None) -> str:
-    """Render op stats as an aligned text table, slowest first."""
-    stats = get_op_stats() if stats is None else stats
+    """Render op stats as an aligned text table, slowest first.
+
+    A :data:`WORKSPACE_STAT_KEY` entry is rendered as a footer line (the
+    freelist counters are not an op); when called live (``stats=None``) the
+    active backend's current workspace counters are appended the same way.
+    """
+    live = stats is None
+    stats = get_op_stats() if live else dict(stats)
+    workspace = stats.pop(WORKSPACE_STAT_KEY, None)
+    if workspace is None and live:
+        workspace = workspace_op_stat()
     if not stats:
+        if workspace is not None:
+            return _format_workspace_line(workspace)
         return "(no ops profiled)"
     header = (
         f"{'op':<14} {'backend':<12} {'calls':>8} {'fwd ms':>10} "
@@ -514,6 +573,8 @@ def format_op_table(stats: Optional[Dict[str, OpStat]] = None) -> str:
         f"{total.backward_calls:>10d} {total.backward_seconds * 1e3:>10.2f} "
         f"{total.bytes_out / 1e6:>10.2f}"
     )
+    if workspace is not None:
+        lines.append(_format_workspace_line(workspace))
     return "\n".join(lines)
 
 

@@ -17,13 +17,16 @@ import numpy as np
 
 from repro.nn.backend import conv_output_size as _conv_output_size
 from repro.nn.backend import get_backend
-from repro.nn.tensor import Tensor, is_grad_enabled
+from repro.nn.tensor import Tensor, _unbroadcast, is_grad_enabled
 
 #: Op entry points instrumented by :mod:`repro.nn.diagnostics` when op
 #: profiling is enabled.  Composite ops (conv2d runs pad/matmul/reshape
 #: internally) report *exclusive* time, so their internals are not listed.
 PROFILED_OPS = (
     "conv2d",
+    "conv2d_grouped",
+    "fused_conv2d_relu",
+    "fused_linear_relu",
     "max_pool2d",
     "avg_pool2d",
     "log_softmax",
@@ -114,6 +117,181 @@ def conv2d(
             x._accumulate(grad_x)
 
     return x._make(out_data, parents, backward, "conv2d")
+
+
+def fused_conv2d_relu(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """Fused ``relu(conv2d(x, weight, bias))`` in one backend primitive.
+
+    Runs the exact float sequence of :func:`conv2d` followed by
+    ``Tensor.relu`` (the activation is ``pre * (pre > 0)`` and the backward
+    masks the upstream gradient before the conv VJPs), so fusing is bitwise
+    neutral while saving one graph node and one Python dispatch per layer.
+    Like :func:`conv2d`, graphs built on a workspace-recycling backend are
+    single-shot.
+    """
+    out_channels, in_channels, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {x.shape[1]} channels but weight expects {in_channels}"
+        )
+    backend = get_backend()
+    w_mat = weight.data.reshape(out_channels, -1)
+    out_data, cols = backend.conv2d_relu_forward(
+        x.data, w_mat, None if bias is None else bias.data, kernel, stride, padding
+    )
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        nonlocal cols
+        if cols is None:
+            raise RuntimeError(
+                "fused_conv2d_relu backward ran twice on a graph built by "
+                f"the {backend.name!r} backend; its column cache is recycled "
+                "inside the first backward, so the graph is single-shot"
+            )
+        grad_x, grad_w, grad_b = backend.conv2d_relu_backward(
+            grad,
+            out_data,
+            cols,
+            w_mat,
+            x.shape,
+            kernel,
+            stride,
+            padding,
+            need_x=x.requires_grad,
+            need_weight=weight.requires_grad,
+            need_bias=bias is not None and bias.requires_grad,
+        )
+        if backend.recycles_workspaces:
+            cols = None
+        if grad_w is not None:
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if grad_b is not None:
+            bias._accumulate(grad_b)
+        if grad_x is not None:
+            x._accumulate(grad_x)
+
+    return x._make(out_data, parents, backward, "fused_conv2d_relu")
+
+
+def fused_linear_relu(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Fused ``relu(x @ weight + bias)`` in one backend primitive.
+
+    Accepts the standard ``(N, F) @ (F, O)`` layout and the client-stacked
+    ``(K, N, F) @ (K, F, O)`` layout used by the batched executor (``bias``
+    then shaped ``(K, 1, O)``).  The float sequence — matmul, broadcast
+    add, ``pre * (pre > 0)`` — and the backward's un-broadcast reductions
+    match the unfused ``x @ w + b`` / ``relu`` graph bitwise.
+    """
+    backend = get_backend()
+    out_data = backend.linear_relu_forward(
+        x.data, weight.data, None if bias is None else bias.data
+    )
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_x, grad_w, grad_pre = backend.linear_relu_backward(
+            grad,
+            out_data,
+            x.data,
+            weight.data,
+            need_x=x.requires_grad,
+            need_weight=weight.requires_grad,
+        )
+        if grad_w is not None:
+            weight._accumulate(_unbroadcast(grad_w, weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(_unbroadcast(grad_pre, bias.shape))
+        if grad_x is not None:
+            x._accumulate(_unbroadcast(grad_x, x.shape))
+
+    return x._make(out_data, parents, backward, "fused_linear_relu")
+
+
+def conv2d_grouped(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+    relu: bool = False,
+) -> Tensor:
+    """Per-group convolution over a client-major folded batch.
+
+    ``x``: ``(G*N, C, H, W)`` — group ``g``'s samples occupy rows
+    ``g*N:(g+1)*N``; ``weight``: ``(G, O, C, K, K)``; ``bias``: ``(G, O)``.
+    Each group is convolved with its own kernels via one grouped im2col and
+    one batched GEMM, producing output bitwise identical to G independent
+    :func:`conv2d` calls.  ``relu=True`` fuses the activation.  Graphs
+    built on a workspace-recycling backend are single-shot.
+    """
+    groups, out_channels, in_channels, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if x.shape[0] % groups != 0:
+        raise ValueError(
+            f"folded batch of {x.shape[0]} does not divide into {groups} groups"
+        )
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {x.shape[1]} channels but weight expects {in_channels}"
+        )
+    backend = get_backend()
+    w_mat3 = weight.data.reshape(groups, out_channels, -1)  # (G, O, C*K*K)
+    out_data, cols3 = backend.grouped_conv2d_forward(
+        x.data,
+        w_mat3,
+        None if bias is None else bias.data,
+        kernel,
+        stride,
+        padding,
+        relu=relu,
+    )
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        nonlocal cols3
+        if cols3 is None:
+            raise RuntimeError(
+                "conv2d_grouped backward ran twice on a graph built by the "
+                f"{backend.name!r} backend; its column cache is recycled "
+                "inside the first backward, so the graph is single-shot"
+            )
+        grad_x, grad_w, grad_b = backend.grouped_conv2d_backward(
+            grad,
+            out_data if relu else None,
+            cols3,
+            w_mat3,
+            x.shape,
+            kernel,
+            stride,
+            padding,
+            need_x=x.requires_grad,
+            need_weight=weight.requires_grad,
+            need_bias=bias is not None and bias.requires_grad,
+            relu=relu,
+        )
+        if backend.recycles_workspaces:
+            cols3 = None
+        if grad_w is not None:
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if grad_b is not None:
+            bias._accumulate(grad_b)
+        if grad_x is not None:
+            x._accumulate(grad_x)
+
+    return x._make(out_data, parents, backward, "conv2d_grouped")
 
 
 # ----------------------------------------------------------------------

@@ -30,6 +30,7 @@ from repro.core.cip_client import CIPClient
 from repro.core.config import CheckpointConfig, CIPConfig
 from repro.data.partition import partition_iid
 from repro.data.synthetic import ImageSpec, generate_image_dataset
+from repro.fl.batched import BatchedExecutor
 from repro.fl.checkpoint import latest_checkpoint
 from repro.fl.client import ClientConfig, FLClient
 from repro.fl.executor import ParallelExecutor, SequentialExecutor
@@ -94,6 +95,43 @@ class TestPinnedDigest:
             state = _run_reference_simulation()
         assert _state_dict_digest(state) == PINNED_DIGEST
 
+    def test_batched_executor_reproduces_the_pinned_digest(self):
+        # CIP clients are not stackable (their local_update override owns
+        # extra RNG draws), so the batched executor must route them through
+        # its per-client fallback and still land on the pinned bytes.
+        with use_backend("numpy", compute_dtype="float64"):
+            state = _run_reference_simulation(BatchedExecutor())
+        assert _state_dict_digest(state) == PINNED_DIGEST
+
+
+def _run_plain_conv_federation(executor=None, seed=4321):
+    """A genuinely batchable federation: plain FLClients, shared config."""
+    dataset = generate_image_dataset(_SPEC, samples_per_class=6, seed=seed)
+    shards = partition_iid(dataset, 3, seed=derive_rng(seed, "plain-p"))
+
+    def factory():
+        return build_model(
+            "vgg", _SPEC.num_classes, in_channels=_SPEC.channels,
+            stage_channels=(4,), convs_per_stage=1,
+            seed=derive_rng(seed, "plain-m"),
+        )
+
+    server = FLServer(factory)
+    clients = [
+        FLClient(
+            i, shards[i], factory,
+            config=ClientConfig(
+                lr=5e-2, momentum=0.9, weight_decay=1e-4,
+                batch_size=6, local_epochs=2,
+            ),
+            seed=derive_rng(seed, "plain-c", i),
+        )
+        for i in range(3)
+    ]
+    with FederatedSimulation(server, clients, executor=executor) as sim:
+        history = sim.run(2)
+    return server.global_state(), history.train_losses
+
 
 class TestExecutorEquivalenceUnderBackends:
     @pytest.mark.parametrize("backend", ["numpy", "accelerated"])
@@ -105,6 +143,23 @@ class TestExecutorEquivalenceUnderBackends:
         for key in seq_state:
             assert seq_state[key].dtype == par_state[key].dtype, key
             assert np.array_equal(seq_state[key], par_state[key]), key
+
+    @pytest.mark.parametrize("backend", ["numpy", "accelerated"])
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_sequential_matches_batched_bitwise(self, backend, dtype):
+        # Unlike the CIP reference run (which exercises the fallback), this
+        # federation actually stacks: identical architectures and
+        # hyperparameters across all three clients.
+        with use_backend(backend, compute_dtype=dtype):
+            seq_state, seq_losses = _run_plain_conv_federation(
+                SequentialExecutor()
+            )
+            bat_state, bat_losses = _run_plain_conv_federation(BatchedExecutor())
+        assert seq_losses == bat_losses  # per-round mean train losses
+        assert seq_state.keys() == bat_state.keys()
+        for key in seq_state:
+            assert seq_state[key].dtype == bat_state[key].dtype, key
+            assert np.array_equal(seq_state[key], bat_state[key]), key
 
     def test_float32_run_tracks_float64_closely(self):
         with use_backend("numpy", compute_dtype="float64"):

@@ -163,6 +163,45 @@ FUNCTIONAL_CASES = [
     ("global_avg_pool2d", lambda x: F.global_avg_pool2d(x), [(2, 3, 4, 4)], False),
     ("softmax", lambda x: F.softmax(x), [(3, 5)], False),
     ("log_softmax", lambda x: F.log_softmax(x), [(3, 5)], False),
+    # Fused / grouped kernels backing the batched executor.  The inputs are
+    # tie-free and off-kink by construction (see _unique_input), so the
+    # ReLU mask is stable under the finite-difference probes.
+    (
+        "fused_conv2d_relu",
+        lambda x, w, b: F.fused_conv2d_relu(x, w, b, stride=1, padding=1),
+        [(2, 2, 4, 4), (3, 2, 3, 3), (3,)],
+        False,
+    ),
+    (
+        "fused_conv2d_relu-stride2-nobias",
+        lambda x, w: F.fused_conv2d_relu(x, w, None, stride=2, padding=0),
+        [(1, 2, 5, 5), (2, 2, 3, 3)],
+        False,
+    ),
+    (
+        "fused_linear_relu",
+        lambda x, w, b: F.fused_linear_relu(x, w, b),
+        [(3, 4), (4, 2), (2,)],
+        False,
+    ),
+    (
+        "fused_linear_relu-stacked",
+        lambda x, w, b: F.fused_linear_relu(x, w, b),
+        [(2, 3, 4), (2, 4, 2), (2, 1, 2)],
+        False,
+    ),
+    (
+        "conv2d_grouped",
+        lambda x, w, b: F.conv2d_grouped(x, w, b, stride=1, padding=1),
+        [(4, 2, 4, 4), (2, 3, 2, 3, 3), (2, 3)],
+        False,
+    ),
+    (
+        "conv2d_grouped-relu-stride2",
+        lambda x, w: F.conv2d_grouped(x, w, None, stride=2, padding=0, relu=True),
+        [(4, 2, 5, 5), (2, 2, 2, 3, 3)],
+        False,
+    ),
 ]
 
 ALL_CASES = (
@@ -188,6 +227,24 @@ FLOAT32_CASES = [
     ("max_pool2d-f32", lambda x: F.max_pool2d(x, 2, 2), [(1, 2, 4, 4)], False),
     ("avg_pool2d-f32", lambda x: F.avg_pool2d(x, 2, 2), [(1, 2, 4, 4)], False),
     ("log_softmax-f32", lambda x: F.log_softmax(x), [(3, 5)], False),
+    (
+        "fused_conv2d_relu-f32",
+        lambda x, w, b: F.fused_conv2d_relu(x, w, b, stride=1, padding=1),
+        [(2, 2, 4, 4), (3, 2, 3, 3), (3,)],
+        False,
+    ),
+    (
+        "fused_linear_relu-f32",
+        lambda x, w, b: F.fused_linear_relu(x, w, b),
+        [(3, 4), (4, 2), (2,)],
+        False,
+    ),
+    (
+        "conv2d_grouped-relu-f32",
+        lambda x, w, b: F.conv2d_grouped(x, w, b, stride=1, padding=1, relu=True),
+        [(4, 2, 4, 4), (2, 3, 2, 3, 3), (2, 3)],
+        False,
+    ),
 ]
 
 
