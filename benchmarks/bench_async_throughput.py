@@ -1,0 +1,168 @@
+"""Async round throughput: buffered streaming aggregation vs sequential.
+
+One sweep, one JSON: the same seeded fault schedule (30% stragglers with a
+real 0.4 s delay plus lognormal arrival jitter) is run through the
+synchronous :class:`~repro.fl.executor.SequentialExecutor` — which *sleeps*
+every injected straggler delay, as a real synchronous deployment would wait
+on its slowest client — and through the :class:`~repro.fl.async_engine.
+AsyncExecutor`, which moves arrival latency onto a virtual clock and
+aggregates buffered updates as they stream in.  Each row records wall-clock
+round throughput plus the robustness counters (dropped / retried / stale),
+and the report asserts the async engine clears >=2x the sequential
+round throughput under the identical schedule.
+
+Writes ``BENCH_async_throughput.json`` at the repo root.
+
+Run directly (the usual way):
+
+    PYTHONPATH=src python benchmarks/bench_async_throughput.py
+
+or through pytest-benchmark alongside the paper benches:
+
+    pytest benchmarks/bench_async_throughput.py --benchmark-only -s
+
+Unlike the process-backend bench, the speedup needs no core-count gate:
+the async engine's win comes from not sleeping on simulated stragglers,
+not from parallelism, so it holds on a single-core container.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import FaultConfig
+from repro.data.partition import partition_iid
+from repro.data.synthetic import TabularSpec, generate_tabular_dataset
+from repro.fl.client import ClientConfig, FLClient
+from repro.fl.executor import make_executor
+from repro.fl.server import FLServer
+from repro.fl.simulation import FederatedSimulation
+from repro.nn.models import build_model
+from repro.utils.rng import derive_rng
+
+NUM_CLIENTS = 8
+ROUNDS = 4
+WARMUP_ROUNDS = 1
+_SPEC = TabularSpec(num_classes=8, num_features=64, flip_probability=0.1)
+
+#: 30% of dispatches straggle for a real 0.4 s; arrivals carry lognormal
+#: jitter on top.  The sequential engine sleeps the straggler delays, the
+#: async engine accounts for them (and the jitter) on its virtual clock.
+FAULTS = FaultConfig(
+    straggler_rate=0.3,
+    straggler_delay_seconds=0.4,
+    jitter_scale=0.1,
+    jitter_sigma=0.75,
+    seed=17,
+)
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_async_throughput.json"
+
+
+def _build_federation(seed: int = 0):
+    dataset = generate_tabular_dataset(_SPEC, samples_per_class=48, seed=seed)
+    shards = partition_iid(dataset, NUM_CLIENTS, seed=derive_rng(seed, "abench-p"))
+
+    def factory():
+        return build_model(
+            "mlp", _SPEC.num_classes, in_features=_SPEC.num_features,
+            hidden=(64,), seed=derive_rng(seed, "abench-m"),
+        )
+
+    server = FLServer(factory)
+    clients = [
+        FLClient(i, shards[i], factory, ClientConfig(lr=5e-2),
+                 seed=derive_rng(seed, "abench-c", i))
+        for i in range(NUM_CLIENTS)
+    ]
+    return server, clients
+
+
+def _make_executor(backend: str):
+    kwargs = dict(
+        fault_config=FAULTS,
+        max_retries=2,
+        min_participation=0.25,
+    )
+    if backend == "async":
+        kwargs.update(
+            buffer_size=NUM_CLIENTS // 2,
+            staleness_policy="polynomial",
+        )
+    return make_executor(backend=backend, **kwargs)
+
+
+def _time_backend(backend: str) -> dict:
+    executor = _make_executor(backend)
+    with FederatedSimulation(*_build_federation(), executor=executor) as sim:
+        sim.run(WARMUP_ROUNDS)
+        start = time.perf_counter()
+        sim.run(ROUNDS)
+        elapsed = time.perf_counter() - start
+        metrics = sim.history.round_metrics[WARMUP_ROUNDS:]
+    mean_round = elapsed / ROUNDS
+    return {
+        "backend": backend,
+        "clients": NUM_CLIENTS,
+        "rounds": ROUNDS,
+        "rounds_per_sec": (1.0 / mean_round) if mean_round > 0 else float("inf"),
+        "mean_round_sec": mean_round,
+        "dropped": sum(len(m.dropped_clients) for m in metrics),
+        "retried": sum(len(m.retried_clients) for m in metrics),
+        "stale_discarded": sum(len(m.stale_clients) for m in metrics),
+        "mean_staleness": float(np.mean([m.mean_staleness for m in metrics])),
+    }
+
+
+def _speedup(report: dict) -> float:
+    by_backend = {row["backend"]: row for row in report["rows"]}
+    return (
+        by_backend["sequential"]["mean_round_sec"]
+        / by_backend["async"]["mean_round_sec"]
+    )
+
+
+def run_bench() -> dict:
+    rows = [_time_backend(backend) for backend in ("sequential", "async")]
+    report = {
+        "benchmark": "async_throughput",
+        "clients": NUM_CLIENTS,
+        "cpu_count": os.cpu_count(),
+        "fault_schedule": {
+            "straggler_rate": FAULTS.straggler_rate,
+            "straggler_delay_seconds": FAULTS.straggler_delay_seconds,
+            "jitter_scale": FAULTS.jitter_scale,
+            "jitter_sigma": FAULTS.jitter_sigma,
+            "seed": FAULTS.seed,
+        },
+        "rows": rows,
+    }
+    report["async_speedup_vs_sequential"] = _speedup(report)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_async_throughput(benchmark):
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    print()
+    for row in report["rows"]:
+        print(
+            f"  {row['backend']:>10s}: {row['rounds_per_sec']:.2f} rounds/sec "
+            f"({row['mean_round_sec'] * 1e3:.1f} ms/round), "
+            f"mean staleness {row['mean_staleness']:.2f}"
+        )
+    speedup = report["async_speedup_vs_sequential"]
+    print(f"  async speedup: {speedup:.2f}x")
+    assert OUTPUT.exists()
+    assert speedup >= 2.0, f"async must double round throughput, got {speedup:.2f}x"
+
+
+if __name__ == "__main__":
+    report = run_bench()
+    print(json.dumps(report, indent=2))
+    print(f"async speedup: {report['async_speedup_vs_sequential']:.2f}x")

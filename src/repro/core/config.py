@@ -6,7 +6,11 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 #: Round-execution backends understood by :class:`ExecutionConfig`.
-EXECUTION_BACKENDS = ("sequential", "process", "batched")
+EXECUTION_BACKENDS = ("sequential", "process", "batched", "async")
+
+#: Staleness-weighting families of the buffered async engine (see
+#: :func:`repro.fl.aggregation.staleness_weight`).
+STALENESS_POLICIES = ("constant", "polynomial", "hinge")
 
 #: Aggregation rules understood by :class:`ExecutionConfig` and the server
 #: (implemented in :mod:`repro.fl.aggregation`).
@@ -115,6 +119,36 @@ class ExecutionConfig:
         precision) or ``"float32"`` (half the memory traffic; losses still
         accumulate in float64).  Recorded in checkpoints together with
         ``nn_backend`` — resume refuses a mismatched configuration.
+    buffer_size:
+        ``async`` backend only: how many admitted client updates the server
+        buffers before it aggregates them into the global model (FedBuff's
+        ``K``).  One :meth:`AsyncExecutor.execute` call corresponds to one
+        buffer flush, i.e. one aggregation step.
+    concurrency:
+        ``async`` backend only: cap on simultaneously in-flight client
+        trainings in the virtual-time simulation; ``None`` lets every
+        participant train concurrently.
+    staleness_policy / staleness_alpha / staleness_hinge:
+        ``async`` backend only: staleness-weight family applied to a
+        buffered delta whose base model is ``lag`` versions old (see
+        :func:`repro.fl.aggregation.staleness_weight`): ``constant`` keeps
+        weight 1, ``polynomial`` uses ``(1 + lag) ** -alpha``, ``hinge``
+        keeps weight 1 up to ``staleness_hinge`` and decays
+        ``1 / (alpha * (lag - hinge) + 1)`` beyond it.
+    staleness_budget:
+        ``async`` backend only: admission policy — an arriving update whose
+        version lag exceeds this budget is discarded as stale (recorded in
+        ``RoundMetrics.stale_clients``) instead of entering the buffer.
+        ``None`` admits any lag (down-weighted by the staleness policy).
+    screen_window:
+        ``async`` backend only: length of the sliding window of recently
+        accepted deltas that the streaming Byzantine screener uses as its
+        median reference (see :class:`repro.fl.robust.StreamingScreener`).
+    client_latency:
+        ``async`` backend only: baseline virtual training latency (seconds
+        of virtual time) per client task, on top of which injected
+        straggler delays and lognormal arrival jitter accumulate.  Only
+        shapes arrival *order*; no real time is slept.
     """
 
     backend: str = "sequential"
@@ -137,6 +171,14 @@ class ExecutionConfig:
     screen_updates: bool = False
     nn_backend: str = "numpy"
     compute_dtype: str = "float64"
+    buffer_size: int = 4
+    concurrency: Optional[int] = None
+    staleness_policy: str = "polynomial"
+    staleness_alpha: float = 0.5
+    staleness_hinge: int = 4
+    staleness_budget: Optional[int] = None
+    screen_window: int = 16
+    client_latency: float = 1.0
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
@@ -167,6 +209,24 @@ class ExecutionConfig:
             raise ValueError("clip_norm must be positive")
         if self.krum_byzantine is not None and self.krum_byzantine < 0:
             raise ValueError("krum_byzantine must be non-negative")
+        if self.buffer_size < 1:
+            raise ValueError("buffer_size must be at least 1")
+        if self.concurrency is not None and self.concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        if self.staleness_policy not in STALENESS_POLICIES:
+            raise ValueError(
+                f"staleness_policy must be one of {STALENESS_POLICIES}"
+            )
+        if self.staleness_alpha < 0:
+            raise ValueError("staleness_alpha must be non-negative")
+        if self.staleness_hinge < 0:
+            raise ValueError("staleness_hinge must be non-negative")
+        if self.staleness_budget is not None and self.staleness_budget < 0:
+            raise ValueError("staleness_budget must be non-negative")
+        if self.screen_window < 1:
+            raise ValueError("screen_window must be at least 1")
+        if self.client_latency < 0:
+            raise ValueError("client_latency must be non-negative")
         # Imported lazily: repro.nn.backend must stay importable without
         # repro.core (the nn substrate has no core dependency).
         from repro.nn.backend import available_backends, available_dtype_policies
@@ -204,6 +264,15 @@ class FaultConfig:
         Probability the worker *process* hosting the client dies mid-round
         (``os._exit``).  On the sequential backend this degrades to a crash
         (killing the only process would kill the simulation itself).
+    jitter_scale / jitter_sigma:
+        Heavy-tailed (lognormal) per-attempt arrival jitter sampled by
+        :meth:`repro.fl.faults.FaultInjector.delay_for`:
+        ``jitter_scale * exp(jitter_sigma * N(0, 1))`` seconds, so
+        ``jitter_scale`` is the *median* extra latency and ``jitter_sigma``
+        controls the tail weight.  ``jitter_scale == 0`` (default)
+        disables jitter.  The async engine uses it for replayable arrival
+        order; decisions are stateless in ``(seed, round, client, attempt)``
+        like every other fault draw.
     seed:
         Root seed of the fault stream.
     """
@@ -213,6 +282,8 @@ class FaultConfig:
     straggler_rate: float = 0.0
     straggler_delay_seconds: float = 0.0
     worker_death_rate: float = 0.0
+    jitter_scale: float = 0.0
+    jitter_sigma: float = 0.75
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -229,10 +300,14 @@ class FaultConfig:
             raise ValueError("fault rates must sum to at most 1")
         if self.straggler_delay_seconds < 0:
             raise ValueError("straggler_delay_seconds must be non-negative")
+        if self.jitter_scale < 0:
+            raise ValueError("jitter_scale must be non-negative")
+        if self.jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be non-negative")
 
     @property
     def enabled(self) -> bool:
-        return any(
+        return self.jitter_scale > 0.0 or any(
             rate > 0.0
             for rate in (
                 self.crash_rate,

@@ -43,6 +43,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration side e
     exp_overhead,
     exp_ablations,
     exp_memguard,
+    exp_robustness,
 )
 
 __all__ = [

@@ -46,11 +46,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend",
         default="sequential",
-        choices=("sequential", "process", "batched"),
+        choices=("sequential", "process", "batched", "async"),
         help="round-execution engine for federated experiments "
         "(process = parallel clients via a persistent worker pool; "
         "batched = same-architecture clients stacked into grouped kernels, "
-        "bitwise-identical to sequential)",
+        "bitwise-identical to sequential; async = buffered streaming "
+        "aggregation with staleness weighting over a simulated arrival "
+        "schedule)",
     )
     parser.add_argument(
         "--num-workers",
@@ -148,6 +150,85 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEED",
         help="root seed of the injected fault schedule (default: 0)",
     )
+    asynchronous = parser.add_argument_group(
+        "asynchronous execution",
+        "buffered streaming aggregation for --backend async "
+        "(see repro.fl.async_engine)",
+    )
+    asynchronous.add_argument(
+        "--buffer-size",
+        type=int,
+        default=4,
+        metavar="K",
+        help="admitted updates per aggregation step (default: 4)",
+    )
+    asynchronous.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max clients training at once in the simulated schedule "
+        "(default: all idle participants)",
+    )
+    asynchronous.add_argument(
+        "--staleness-policy",
+        default="polynomial",
+        choices=("constant", "polynomial", "hinge"),
+        help="decay of an update's weight with its version lag "
+        "(default: polynomial)",
+    )
+    asynchronous.add_argument(
+        "--staleness-alpha",
+        type=float,
+        default=0.5,
+        metavar="ALPHA",
+        help="decay exponent/slope of the staleness policy (default: 0.5)",
+    )
+    asynchronous.add_argument(
+        "--staleness-hinge",
+        type=int,
+        default=4,
+        metavar="LAG",
+        help="full-weight grace window of the hinge policy (default: 4)",
+    )
+    asynchronous.add_argument(
+        "--staleness-budget",
+        type=int,
+        default=None,
+        metavar="LAG",
+        help="discard updates older than this many versions instead of "
+        "down-weighting them (default: keep everything)",
+    )
+    asynchronous.add_argument(
+        "--screen-window",
+        type=int,
+        default=16,
+        metavar="N",
+        help="sliding reference window of the streaming screener "
+        "(with --screen-updates; default: 16)",
+    )
+    asynchronous.add_argument(
+        "--client-latency",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="baseline simulated training latency per client (default: 1.0)",
+    )
+    asynchronous.add_argument(
+        "--jitter-scale",
+        type=float,
+        default=0.0,
+        metavar="SCALE",
+        help="median of the heavy-tailed lognormal arrival jitter in "
+        "simulated seconds (default: 0 = no jitter)",
+    )
+    asynchronous.add_argument(
+        "--jitter-sigma",
+        type=float,
+        default=0.75,
+        metavar="SIGMA",
+        help="log-scale spread of the arrival jitter (default: 0.75)",
+    )
     from repro.core.config import AGGREGATORS, BYZANTINE_ATTACKS
 
     robust = parser.add_argument_group(
@@ -223,10 +304,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def parse_fault_config(spec, seed):
+def parse_fault_config(spec, seed, jitter_scale=0.0, jitter_sigma=0.75):
     """Parse the --inject-faults CRASH,TRANSIENT,STRAGGLER,DELAY spec."""
     if spec is None:
-        return None
+        if jitter_scale <= 0.0:
+            return None
+        # Jitter-only schedule: no failures, just heavy-tailed arrivals.
+        from repro.core.config import FaultConfig
+
+        return FaultConfig(
+            jitter_scale=jitter_scale, jitter_sigma=jitter_sigma, seed=seed
+        )
     from repro.core.config import FaultConfig
 
     parts = [float(part) for part in spec.split(",")]
@@ -241,6 +329,8 @@ def parse_fault_config(spec, seed):
         transient_rate=transient,
         straggler_rate=straggler,
         straggler_delay_seconds=delay,
+        jitter_scale=jitter_scale,
+        jitter_sigma=jitter_sigma,
         seed=seed,
     )
 
@@ -303,8 +393,21 @@ def main(argv=None) -> int:
             screen_updates=args.screen_updates,
             nn_backend=args.nn_backend,
             compute_dtype=args.compute_dtype,
+            buffer_size=args.buffer_size,
+            concurrency=args.concurrency,
+            staleness_policy=args.staleness_policy,
+            staleness_alpha=args.staleness_alpha,
+            staleness_hinge=args.staleness_hinge,
+            staleness_budget=args.staleness_budget,
+            screen_window=args.screen_window,
+            client_latency=args.client_latency,
         ),
-        faults=parse_fault_config(args.inject_faults, args.fault_seed),
+        faults=parse_fault_config(
+            args.inject_faults,
+            args.fault_seed,
+            jitter_scale=args.jitter_scale,
+            jitter_sigma=args.jitter_sigma,
+        ),
         byzantine=parse_byzantine_config(args),
     )
 

@@ -116,6 +116,21 @@ def build_executor() -> RoundExecutor:
         max_pool_respawns=config.max_pool_respawns,
         fault_config=_FAULT_CONFIG,
         byzantine_config=_BYZANTINE_CONFIG,
+        buffer_size=config.buffer_size,
+        concurrency=config.concurrency,
+        staleness_policy=config.staleness_policy,
+        staleness_alpha=config.staleness_alpha,
+        staleness_hinge=config.staleness_hinge,
+        staleness_budget=config.staleness_budget,
+        # The async engine screens at admission time (streaming window);
+        # the synchronous engines leave screening to the server.
+        screening=(
+            ScreeningConfig()
+            if config.screen_updates and config.backend == "async"
+            else None
+        ),
+        screen_window=config.screen_window,
+        client_latency=config.client_latency,
     )
 
 
@@ -136,7 +151,14 @@ def configure_server_robustness(server) -> None:
         elif config.aggregator in ("krum", "multi_krum"):
             options["num_byzantine"] = config.krum_byzantine
         server.set_aggregator(config.aggregator, **options)
-    if config.screen_updates and server.screening is None:
+    # The async backend screens at admission (streaming window inside the
+    # executor); enabling server-side screening too would double-screen the
+    # flush against an already-filtered buffer.
+    if (
+        config.screen_updates
+        and config.backend != "async"
+        and server.screening is None
+    ):
         server.screening = ScreeningConfig()
 
 

@@ -1,0 +1,136 @@
+"""Robustness telemetry: per-round fault/attack counters per engine (RQ5 ext).
+
+Not a paper table — an execution-layer companion to Table XI.  It runs the
+same seeded fault schedule (crashes, transients, stragglers, heavy-tailed
+arrival jitter) plus a sign-flip Byzantine minority through the synchronous
+and asynchronous engines and reports the per-round robustness counters now
+recorded in :class:`repro.fl.simulation.RoundMetrics`: dropped, retried,
+quarantined, and stale-discarded clients, plus the mean version lag of the
+aggregated updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ByzantineConfig, FaultConfig, ScreeningConfig
+from repro.data.partition import partition_iid
+from repro.data.synthetic import TabularSpec, generate_tabular_dataset
+from repro.experiments.profiles import Profile
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.fl.client import ClientConfig, FLClient
+from repro.fl.executor import make_executor
+from repro.fl.server import FLServer
+from repro.fl.simulation import FederatedSimulation
+from repro.utils.rng import derive_rng
+
+NUM_CLIENTS = 8
+ATTACKERS = (2, 5)
+
+FAULTS = FaultConfig(
+    crash_rate=0.05,
+    transient_rate=0.1,
+    straggler_rate=0.3,
+    straggler_delay_seconds=0.2,
+    jitter_scale=0.1,
+    jitter_sigma=0.75,
+    seed=17,
+)
+BYZANTINE = ByzantineConfig(attack="sign_flip", clients=ATTACKERS, scale=5.0, seed=17)
+
+
+def _federation(seed: int = 0):
+    spec = TabularSpec(num_classes=4, num_features=32, flip_probability=0.05)
+    dataset = generate_tabular_dataset(spec, samples_per_class=48, seed=seed)
+    shards = partition_iid(dataset, NUM_CLIENTS, seed=derive_rng(seed, "robust"))
+
+    from repro.nn.models import build_model
+
+    def factory():
+        return build_model(
+            "mlp", spec.num_classes, in_features=spec.num_features,
+            hidden=(32,), seed=derive_rng(seed, "robust-m"),
+        )
+
+    clients = [
+        FLClient(i, shards[i], factory, ClientConfig(lr=5e-2),
+                 seed=derive_rng(seed, "robust-c", i))
+        for i in range(NUM_CLIENTS)
+    ]
+    return factory, clients, dataset
+
+
+def _executor(engine: str):
+    common = dict(
+        fault_config=FAULTS,
+        byzantine_config=BYZANTINE,
+        max_retries=2,
+        min_participation=0.25,
+        client_timeout=None,
+    )
+    if engine == "async":
+        return make_executor(
+            backend="async",
+            buffer_size=NUM_CLIENTS // 2,
+            staleness_policy="polynomial",
+            staleness_budget=8,
+            screening=ScreeningConfig(outlier_threshold=3.0),
+            screen_window=2 * NUM_CLIENTS,
+            **common,
+        )
+    return make_executor(backend="sequential", **common)
+
+
+@register("robustness", "Robustness counters: sync vs async engine", "RQ5 (ext)")
+def robustness(profile: Profile) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="robustness",
+        title="Per-round robustness counters under seeded faults and a "
+        "sign-flip minority",
+        columns=[
+            "engine",
+            "rounds",
+            "dropped",
+            "retried",
+            "rejected",
+            "stale_discarded",
+            "mean_staleness",
+            "final_acc",
+        ],
+    )
+    rounds = max(4, min(profile.fl_rounds, 12))
+    for engine in ("sequential", "async"):
+        factory, clients, dataset = _federation()
+        # The sync engine screens server-side at aggregation; the async
+        # engine screens at admission with its sliding window.
+        server = FLServer(
+            factory,
+            screening=(
+                ScreeningConfig(outlier_threshold=3.0)
+                if engine == "sequential"
+                else None
+            ),
+        )
+        with FederatedSimulation(
+            server, clients, executor=_executor(engine),
+            eval_dataset=dataset, eval_every=rounds,
+        ) as simulation:
+            simulation.run(rounds)
+        metrics = simulation.history.round_metrics
+        result.add_row(
+            engine=engine,
+            rounds=rounds,
+            dropped=sum(len(m.dropped_clients) for m in metrics),
+            retried=sum(len(m.retried_clients) for m in metrics),
+            rejected=sum(len(m.rejected_clients) for m in metrics),
+            stale_discarded=sum(len(m.stale_clients) for m in metrics),
+            mean_staleness=float(np.mean([m.mean_staleness for m in metrics])),
+            final_acc=simulation.history.final_test_accuracy(),
+        )
+    result.add_note(
+        f"clients={NUM_CLIENTS}, attackers={list(ATTACKERS)} (sign_flip x5); "
+        "faults: 5% crash, 10% transient, 30% straggler + lognormal jitter "
+        "(seed 17); async: buffer=4, polynomial decay, staleness budget 8"
+    )
+    return result

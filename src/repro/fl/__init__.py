@@ -2,6 +2,8 @@
 
 from repro.fl.aggregation import (
     AGGREGATORS,
+    STALENESS_POLICIES,
+    staleness_weight,
     apply_delta,
     coordinate_median,
     fedavg,
@@ -13,6 +15,7 @@ from repro.fl.aggregation import (
     state_delta,
     trimmed_mean,
 )
+from repro.fl.async_engine import AsyncExecutor
 from repro.fl.checkpoint import latest_checkpoint, list_checkpoints
 from repro.fl.client import ClientConfig, ClientUpdate, FLClient
 from repro.fl.executor import (
@@ -54,7 +57,12 @@ from repro.fl.malicious import (
     corrupt_state,
     per_sample_losses_of_state,
 )
-from repro.fl.robust import REJECT_REASONS, ScreeningReport, screen_updates
+from repro.fl.robust import (
+    REJECT_REASONS,
+    ScreeningReport,
+    StreamingScreener,
+    screen_updates,
+)
 from repro.fl.training import (
     EvalResult,
     default_forward,
@@ -69,6 +77,8 @@ __all__ = [
     "apply_delta",
     "flatten_state",
     "AGGREGATORS",
+    "STALENESS_POLICIES",
+    "staleness_weight",
     "coordinate_median",
     "trimmed_mean",
     "norm_clipped_fedavg",
@@ -87,6 +97,7 @@ __all__ = [
     "RoundExecutionError",
     "SequentialExecutor",
     "ParallelExecutor",
+    "AsyncExecutor",
     "make_executor",
     "FaultInjector",
     "FaultDecision",
@@ -109,6 +120,7 @@ __all__ = [
     "corrupt_state",
     "screen_updates",
     "ScreeningReport",
+    "StreamingScreener",
     "REJECT_REASONS",
     "EvalResult",
     "default_forward",

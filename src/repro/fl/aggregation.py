@@ -39,7 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.config import AGGREGATORS
+from repro.core.config import AGGREGATORS, STALENESS_POLICIES
 
 StateDict = Dict[str, np.ndarray]
 #: Uniform aggregator signature used by the server (see make_aggregator).
@@ -47,6 +47,8 @@ Aggregator = Callable[..., StateDict]
 
 __all__ = [
     "AGGREGATORS",
+    "STALENESS_POLICIES",
+    "staleness_weight",
     "fedavg",
     "coordinate_median",
     "trimmed_mean",
@@ -336,6 +338,36 @@ def apply_delta(base: StateDict, delta: StateDict, scale: float = 1.0) -> StateD
     """Return ``base + scale * delta``."""
     _check_compatible([base, delta])
     return {key: base[key] + scale * delta[key] for key in base}
+
+
+def staleness_weight(
+    lag: int,
+    policy: str = "polynomial",
+    alpha: float = 0.5,
+    hinge: int = 4,
+) -> float:
+    """Down-weight for an async update whose base model is ``lag`` versions old.
+
+    FedAsync/FedBuff-style staleness decay ``s(lag)``; every policy satisfies
+    ``s(0) == 1``, ``s(lag) in (0, 1]``, and monotone non-increasing in lag
+    (properties pinned by ``tests/fl/test_async_engine.py``):
+
+    * ``constant`` — ``1`` regardless of lag (FedBuff's unweighted buffer).
+    * ``polynomial`` — ``(1 + lag) ** -alpha`` (Xie et al., FedAsync).
+    * ``hinge`` — ``1`` while ``lag <= hinge``, then
+      ``1 / (alpha * (lag - hinge) + 1)``.
+    """
+    if lag < 0:
+        raise ValueError("lag must be non-negative")
+    if policy not in STALENESS_POLICIES:
+        raise ValueError(f"policy must be one of {STALENESS_POLICIES}")
+    if policy == "constant":
+        return 1.0
+    if policy == "polynomial":
+        return float((1.0 + lag) ** -alpha)
+    if lag <= hinge:
+        return 1.0
+    return float(1.0 / (alpha * (lag - hinge) + 1.0))
 
 
 def flatten_state(state: StateDict) -> np.ndarray:

@@ -1,0 +1,472 @@
+"""Asynchronous round engine: buffered, staleness-aware aggregation.
+
+Both synchronous engines are barriers over the cohort — one straggler
+bounds the round, and the fault layer can only time it out and drop its
+work.  :class:`AsyncExecutor` removes the barrier: clients stream updates
+into a bounded buffer and the server aggregates continuously, FedBuff-style
+(Nguyen et al.), with FedAsync-style staleness decay (Xie et al.) on each
+update's version lag.
+
+One :meth:`AsyncExecutor.execute` call is one **aggregation step**: the
+engine collects updates from the stream until ``buffer_size`` of them are
+admitted (or the stream runs dry), then hands the buffer to the server as
+effective states
+
+    ``effective_i = global + s(lag_i) * (state_i - origin_i)``
+
+where ``origin_i`` is the global state client ``i`` trained from and
+``s(lag)`` is the configured staleness weight.  Plain sample-weighted FedAvg
+over effective states *is* staleness-weighted buffered FedAvg, and the
+robust aggregators (median, trimmed mean, Krum) operate on the streamed
+buffer unchanged.  When ``lag == 0`` and ``s == 1`` the effective state is
+the client's raw state (bitwise), so a synchronous arrival schedule with
+``staleness_policy="constant"`` and ``buffer_size == len(participants)``
+degenerates exactly to sequential FedAvg.
+
+**Virtual time.**  Latency is simulated, never slept: each dispatched task
+accumulates ``client_latency`` plus the deterministic straggler/jitter
+delays of :meth:`repro.fl.faults.FaultInjector.delay_for`, and arrivals are
+processed in virtual-arrival order from a heap.  Training itself runs
+eagerly at dispatch time in deterministic dispatch order — harmless,
+because every client owns its seeded RNGs, so no draw order is shared
+across clients.  The result is a fully replayable stream: two runs with
+the same seeds produce identical dispatch, arrival, admission, and flush
+sequences, and the engine is wall-clock-faster than the synchronous
+engines on faulty schedules precisely because injected delays cost nothing
+real (``benchmarks/bench_async_throughput.py``).
+
+**Scheduling policy.**  Idle clients are (re)dispatched at the start of
+each aggregation step — and mid-step only to refill a ``concurrency``-capped
+stream — training against the then-current global.  A client freed by an
+arrival mid-step waits for the next step boundary, so within one step each
+client delivers at most one update.  Crashed tasks return their client to
+the pool for the next step (a crash is terminal per task, not per client).
+
+**Faults** reuse the deterministic decision stream keyed by the client's
+monotone *task counter* in place of the round index, so under a
+full-participation synchronous schedule the async engine sees the same
+fault schedule as the synchronous engines.  Transient faults retry with
+(virtual) backoff; an injected straggler delay beyond ``client_timeout``
+is a retriable straggler timeout; crash/worker_death are terminal for the
+task.  Quorum applies per aggregation step: the admitted buffer must cover
+``min_participation`` of that step's attempted deliveries
+(admitted + dropped + stale-discarded + quarantined).
+
+**Byzantine screening** happens at *admission*, not at aggregation: each
+arriving delta is screened by :class:`repro.fl.robust.StreamingScreener`
+against a sliding window of recently accepted deltas (the synchronous
+cohort's median reference, rebuilt for a stream).  Quarantined and
+stale-discarded arrivals land in ``RoundExecution.rejected`` / ``stale``
+and surface in ``RoundMetrics``.
+
+**Checkpoint/resume**: :meth:`export_state` captures the stream — in-flight
+updates (the arrival schedule), per-client task counters and busy-until
+times, the virtual clock, and the screening window — and
+:meth:`import_state` restores it, so a mid-run checkpoint of an async
+simulation resumes bit-identically (asserted by
+``tests/fl/test_async_engine.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import STALENESS_POLICIES, ScreeningConfig
+from repro.fl.aggregation import apply_delta, staleness_weight, state_delta
+from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.executor import (
+    ClientExecution,
+    RoundExecution,
+    RoundExecutionError,
+    RoundExecutor,
+)
+from repro.fl.faults import ClientFailure, FaultInjector, RetryBackoff
+from repro.fl.malicious import ByzantineInjector
+from repro.fl.robust import StreamingScreener
+from repro.nn.serialization import state_dict_nbytes
+from repro.utils.logging import get_logger
+from repro.utils.timer import Stopwatch
+
+StateDict = Dict[str, np.ndarray]
+_log = get_logger("fl.async")
+
+
+@dataclass
+class _InFlight:
+    """One dispatched client task streaming toward the server.
+
+    ``state`` is the post-training (possibly Byzantine-corrupted) weights;
+    ``delta`` is ``state - origin`` against the global version the client
+    trained from.  Both are kept: the delta drives screening and staleness
+    weighting, the raw state preserves the bitwise zero-lag fast path.
+    """
+
+    client_id: int
+    task_index: int
+    state: StateDict
+    delta: StateDict
+    origin_version: int
+    num_samples: int
+    train_loss: float
+    compute_seconds: float
+    attempts: int  # extra attempts the task needed (0 = first try)
+
+
+class AsyncExecutor(RoundExecutor):
+    """Buffered asynchronous round engine (see the module docstring).
+
+    Parameters
+    ----------
+    buffer_size:
+        Admitted updates per aggregation step (FedBuff's ``K``).
+    concurrency:
+        Cap on simultaneously in-flight tasks; ``None`` lets every idle
+        participant train concurrently.
+    staleness_policy / staleness_alpha / staleness_hinge:
+        Staleness-weight family applied to admitted deltas (see
+        :func:`repro.fl.aggregation.staleness_weight`).
+    staleness_budget:
+        Admission policy: arrivals with version lag beyond this are
+        discarded as stale (``None`` admits any lag, down-weighted).
+    screening / screen_window:
+        Enable streaming admission screening with the given
+        :class:`~repro.core.config.ScreeningConfig` over a sliding window
+        of ``screen_window`` accepted deltas; ``screening=None`` admits
+        every finite arrival.
+    client_latency:
+        Baseline virtual seconds a task spends training, on top of which
+        injected straggler delays and lognormal jitter accumulate.
+    fault_injector / max_retries / backoff / client_timeout /
+    min_participation / byzantine:
+        Shared fault-tolerance and adversary policy (see
+        :class:`~repro.fl.executor.RoundExecutor`); fault and attack
+        decisions are keyed by the client's task counter instead of the
+        round index.
+    """
+
+    name = "async"
+
+    def __init__(
+        self,
+        buffer_size: int = 4,
+        concurrency: Optional[int] = None,
+        staleness_policy: str = "polynomial",
+        staleness_alpha: float = 0.5,
+        staleness_hinge: int = 4,
+        staleness_budget: Optional[int] = None,
+        screening: Optional[ScreeningConfig] = None,
+        screen_window: int = 16,
+        client_latency: float = 1.0,
+        fault_injector: Optional[FaultInjector] = None,
+        max_retries: int = 0,
+        backoff: Optional[RetryBackoff] = None,
+        client_timeout: Optional[float] = None,
+        min_participation: float = 1.0,
+        byzantine: Optional[ByzantineInjector] = None,
+    ) -> None:
+        if buffer_size < 1:
+            raise ValueError("buffer_size must be at least 1")
+        if concurrency is not None and concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        if staleness_policy not in STALENESS_POLICIES:
+            raise ValueError(f"staleness_policy must be one of {STALENESS_POLICIES}")
+        if staleness_alpha < 0:
+            raise ValueError("staleness_alpha must be non-negative")
+        if staleness_hinge < 0:
+            raise ValueError("staleness_hinge must be non-negative")
+        if staleness_budget is not None and staleness_budget < 0:
+            raise ValueError("staleness_budget must be non-negative")
+        if client_latency < 0:
+            raise ValueError("client_latency must be non-negative")
+        self._configure_fault_tolerance(
+            fault_injector, max_retries, backoff, client_timeout, min_participation,
+            byzantine,
+        )
+        self.buffer_size = int(buffer_size)
+        self.concurrency = None if concurrency is None else int(concurrency)
+        self.staleness_policy = staleness_policy
+        self.staleness_alpha = float(staleness_alpha)
+        self.staleness_hinge = int(staleness_hinge)
+        self.staleness_budget = (
+            None if staleness_budget is None else int(staleness_budget)
+        )
+        self.client_latency = float(client_latency)
+        self.screener = (
+            StreamingScreener(screening, window=screen_window)
+            if screening is not None
+            else None
+        )
+        # -- persistent stream state (survives across aggregation steps and,
+        # via export_state/import_state, across checkpoint/resume) --------
+        self._vclock = 0.0
+        self._seq = 0
+        self._heap: List[Tuple[float, int, _InFlight]] = []
+        self._task_count: Dict[int, int] = {}
+        self._free_at: Dict[int, float] = {}
+
+    # -- one aggregation step -------------------------------------------
+    def execute(self, participants: Sequence[FLClient], server) -> RoundExecution:
+        if not participants:
+            raise RoundExecutionError("async step needs at least one participant")
+        version = server.round
+        # The honest current global: the delta base for arriving updates
+        # dispatched this step, the Byzantine reference, and the flush-time
+        # anchor of the effective states.
+        current_global = server.global_state()
+        profile_token = self._profile_begin()
+        by_id = {client.client_id: client for client in participants}
+        if len(by_id) != len(participants):
+            raise RoundExecutionError("participant client ids must be unique")
+        in_flight_ids = {entry.client_id for _, _, entry in self._heap}
+        queue = sorted(
+            (c for c in participants if c.client_id not in in_flight_ids),
+            key=lambda c: (self._free_at.get(c.client_id, 0.0), c.client_id),
+        )
+        cap = self.concurrency if self.concurrency is not None else len(by_id)
+
+        buffer: List[Tuple[_InFlight, int]] = []  # (entry, lag) in arrival order
+        failures: List[ClientFailure] = []
+        retries: Dict[int, int] = {}
+        rejected: Dict[int, str] = {}
+        scores: Dict[int, float] = {}
+        stale: Dict[int, int] = {}
+        bytes_broadcast = 0
+        bytes_aggregated = 0
+
+        while len(buffer) < self.buffer_size:
+            while queue and len(self._heap) < cap:
+                client = queue.pop(0)
+                bytes_broadcast += self._dispatch(
+                    client, server, version, current_global, failures
+                )
+            if not self._heap:
+                # Stream ran dry before the buffer filled (crashes, or
+                # buffer_size beyond the reachable arrivals this step):
+                # flush what was admitted, subject to the quorum below.
+                break
+            arrival_vtime, _, entry = heapq.heappop(self._heap)
+            self._vclock = max(self._vclock, arrival_vtime)
+            cid = entry.client_id
+            self._free_at[cid] = self._vclock
+            bytes_aggregated += state_dict_nbytes(entry.state)
+            if entry.attempts:
+                retries[cid] = max(retries.get(cid, 0), entry.attempts)
+            lag = version - entry.origin_version
+            if self.staleness_budget is not None and lag > self.staleness_budget:
+                stale[cid] = lag
+                _log.info(
+                    "discarding stale update from client %d (lag %d > budget %d)",
+                    cid,
+                    lag,
+                    self.staleness_budget,
+                )
+                continue
+            if self.screener is not None:
+                reason, score = self.screener.screen(cid, entry.delta)
+                scores[cid] = score
+                if reason is not None:
+                    rejected[cid] = reason
+                    continue
+            buffer.append((entry, lag))
+
+        results: List[ClientExecution] = []
+        lags: List[int] = []
+        for entry, lag in buffer:
+            weight = staleness_weight(
+                lag, self.staleness_policy, self.staleness_alpha, self.staleness_hinge
+            )
+            if lag == 0 and weight == 1.0:
+                # Bitwise fast path: origin == current global, no decay —
+                # the effective state IS the client's state (rebuilding it
+                # as global + delta would round differently).
+                state = entry.state
+            else:
+                state = apply_delta(current_global, entry.delta, scale=weight)
+            results.append(
+                ClientExecution(
+                    update=ClientUpdate(
+                        client_id=entry.client_id,
+                        state=state,
+                        num_samples=entry.num_samples,
+                        train_loss=entry.train_loss,
+                    ),
+                    compute_seconds=entry.compute_seconds,
+                )
+            )
+            lags.append(lag)
+        attempted = len(buffer) + len(failures) + len(stale) + len(rejected)
+        if not buffer:
+            detail = "; ".join(
+                f"client {f.client_id}: {f.kind} after {f.attempts} attempt(s)"
+                for f in failures
+            )
+            raise RoundExecutionError(
+                "async step admitted no updates: "
+                f"{len(stale)} stale, {len(rejected)} quarantined, "
+                f"{len(failures)} failed{': ' + detail if detail else ''}"
+            )
+        self._check_participation(attempted, len(buffer), failures)
+        return RoundExecution(
+            results=results,
+            bytes_broadcast=bytes_broadcast,
+            bytes_aggregated=bytes_aggregated,
+            failures=failures,
+            retries=retries,
+            op_stats=self._profile_end(profile_token),
+            rejected=rejected,
+            anomaly_scores=scores,
+            stale=stale,
+            staleness_lags=lags,
+            expected_participants=attempted,
+        )
+
+    # -- task dispatch ---------------------------------------------------
+    def _dispatch(
+        self,
+        client: FLClient,
+        server,
+        version: int,
+        current_global: StateDict,
+        failures: List[ClientFailure],
+    ) -> int:
+        """Run one client task now; schedule its (virtual) arrival.
+
+        Returns the broadcast bytes the task consumed.  Faults resolve
+        entirely in virtual time: failed attempts accumulate backoff
+        latency, terminal failures record a :class:`ClientFailure` and
+        return the client to the idle pool for the next step.
+        """
+        cid = client.client_id
+        task_index = self._task_count.get(cid, 0)
+        self._task_count[cid] = task_index + 1
+        start = max(self._vclock, self._free_at.get(cid, 0.0))
+        latency = 0.0
+        bytes_sent = 0
+        attempt = 0
+        tolerant = self._tolerant
+        snapshot = client.get_mutable_state().clone() if tolerant else None
+
+        def _fail(kind: str, message: str) -> int:
+            failures.append(
+                ClientFailure(
+                    client_id=cid, kind=kind, attempts=attempt + 1, message=message
+                )
+            )
+            self._free_at[cid] = start + latency + self.client_latency
+            return bytes_sent
+
+        while True:
+            decision = self._decide(task_index, cid, attempt)
+            if decision.kind in ("crash", "worker_death"):
+                # Terminal for the task; with no worker process to kill,
+                # worker_death degrades to a crash like the sequential engine.
+                return _fail(decision.kind, f"injected {decision.kind}")
+            if decision.kind == "transient":
+                if attempt < self.max_retries:
+                    latency += self.backoff.delay(attempt)
+                    attempt += 1
+                    continue
+                return _fail("transient", "injected transient fault")
+            if (
+                decision.kind == "straggler"
+                and self.client_timeout is not None
+                and decision.delay_seconds > self.client_timeout
+            ):
+                # The server gives up on the attempt after the budget; the
+                # timeout is retriable, matching the synchronous engines.
+                latency += self.client_timeout
+                if attempt < self.max_retries:
+                    latency += self.backoff.delay(attempt)
+                    attempt += 1
+                    continue
+                return _fail(
+                    "straggler",
+                    f"injected {decision.delay_seconds:.1f}s delay exceeds "
+                    f"client_timeout={self.client_timeout:.1f}s",
+                )
+            # Healthy (or tolerably slow) attempt: train now, arrive later.
+            delay = (
+                self.fault_injector.delay_for(task_index, cid, attempt)
+                if self.fault_injector is not None
+                else 0.0
+            )
+            state = server.broadcast(cid)
+            bytes_sent += state_dict_nbytes(state)
+            try:
+                client.receive_global(state)
+                with Stopwatch() as watch:
+                    update = client.local_update()
+            except Exception as exc:
+                if snapshot is None:
+                    raise RoundExecutionError(
+                        f"client {cid} failed during local_update: {exc!r}"
+                    ) from exc
+                client.set_mutable_state(snapshot.clone())
+                if attempt < self.max_retries:
+                    latency += self.backoff.delay(attempt)
+                    attempt += 1
+                    continue
+                return _fail("error", repr(exc))
+            if self.byzantine is not None:
+                corrupted = self.byzantine.corrupt(
+                    task_index, cid, update.state, current_global
+                )
+                if corrupted is not update.state:
+                    update = replace(update, state=corrupted)
+            arrival = start + latency + self.client_latency + delay
+            entry = _InFlight(
+                client_id=cid,
+                task_index=task_index,
+                state=update.state,
+                delta=state_delta(update.state, current_global),
+                origin_version=version,
+                num_samples=update.num_samples,
+                train_loss=update.train_loss,
+                compute_seconds=watch.elapsed,
+                attempts=attempt,
+            )
+            heapq.heappush(self._heap, (arrival, self._seq, entry))
+            self._seq += 1
+            self._free_at[cid] = arrival
+            return bytes_sent
+
+    # -- checkpoint/resume ----------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        return {
+            "vclock": self._vclock,
+            "seq": self._seq,
+            "task_count": dict(self._task_count),
+            "free_at": dict(self._free_at),
+            "in_flight": [
+                (vtime, seq, entry) for vtime, seq, entry in sorted(self._heap)
+            ],
+            "screener": (
+                self.screener.export_state() if self.screener is not None else None
+            ),
+        }
+
+    def import_state(self, state: Optional[Dict[str, object]]) -> None:
+        if state is None:
+            # Pre-async checkpoint (or a synchronous run's): fresh stream.
+            self._vclock = 0.0
+            self._seq = 0
+            self._heap = []
+            self._task_count = {}
+            self._free_at = {}
+            if self.screener is not None:
+                self.screener.import_state([])
+            return
+        self._vclock = float(state["vclock"])
+        self._seq = int(state["seq"])
+        self._task_count = dict(state["task_count"])
+        self._free_at = dict(state["free_at"])
+        heap = [tuple(item) for item in state["in_flight"]]
+        heapq.heapify(heap)
+        self._heap = heap
+        window = state.get("screener")
+        if self.screener is not None and window is not None:
+            self.screener.import_state(window)

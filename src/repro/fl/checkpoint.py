@@ -89,6 +89,11 @@ def save_checkpoint(simulation, directory: str, keep: int = 0) -> str:
             for client in simulation.clients
         },
         "sampling_rng_state": simulation._sampling_rng.bit_generator.state,
+        # Evolving executor state (None for the stateless synchronous
+        # engines).  The async engine exports its stream here — in-flight
+        # updates, virtual clock, task counters, screening window — so a
+        # resumed async run replays bit-identically.
+        "executor_state": simulation.executor.export_state(),
         "lr_schedule_round": (
             simulation.lr_schedule._round if simulation.lr_schedule is not None else None
         ),
@@ -170,6 +175,9 @@ def restore_simulation(simulation, path: str) -> int:
     rng = np.random.default_rng()
     rng.bit_generator.state = payload["sampling_rng_state"]
     simulation._sampling_rng = rng
+    # Missing key = pre-async checkpoint; import_state(None) resets the
+    # executor's stream (a no-op for the stateless synchronous engines).
+    simulation.executor.import_state(payload.get("executor_state"))
     schedule_round = payload.get("lr_schedule_round")
     if simulation.lr_schedule is not None and schedule_round is not None:
         schedule = simulation.lr_schedule

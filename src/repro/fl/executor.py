@@ -58,7 +58,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.config import ByzantineConfig, FaultConfig
+from repro.core.config import ByzantineConfig, FaultConfig, ScreeningConfig
 from repro.fl.client import ClientMutableState, ClientUpdate, FLClient
 from repro.fl.malicious import ByzantineInjector
 from repro.fl.faults import (
@@ -87,7 +87,7 @@ from repro.utils.timer import Stopwatch
 StateDict = Dict[str, np.ndarray]
 _log = get_logger("fl.executor")
 
-BACKENDS = ("sequential", "process", "batched")
+BACKENDS = ("sequential", "process", "batched", "async")
 
 
 class RoundExecutionError(RuntimeError):
@@ -126,6 +126,25 @@ class RoundExecution:
     failures: List[ClientFailure] = field(default_factory=list)
     retries: Dict[int, int] = field(default_factory=dict)
     op_stats: Dict[str, "OpStat"] = field(default_factory=dict)
+    #: Clients quarantined by *executor-side* admission screening (the async
+    #: engine's streaming screener), mapped to the rejection reason.  The
+    #: synchronous engines leave this empty — their screening happens
+    #: server-side at aggregation time.
+    rejected: Dict[int, str] = field(default_factory=dict)
+    #: Anomaly score of every arrival the executor screened (async engine).
+    anomaly_scores: Dict[int, float] = field(default_factory=dict)
+    #: Clients whose update arrived too stale to admit (version lag beyond
+    #: the staleness budget), mapped to the lag at discard time.
+    stale: Dict[int, int] = field(default_factory=dict)
+    #: Version lags of the *admitted* updates, in buffer order (async
+    #: engine); empty on synchronous engines, where every lag is zero.
+    staleness_lags: List[int] = field(default_factory=list)
+    #: Quorum base the simulation should hand to ``server.aggregate``.
+    #: ``None`` (synchronous engines) means the round's participant count;
+    #: the async engine reports its aggregation step's attempted-delivery
+    #: count (admitted + dropped + stale + rejected) instead, because one
+    #: ``execute()`` call is one buffer flush, not one full cohort.
+    expected_participants: Optional[int] = None
 
     @property
     def updates(self) -> List[ClientUpdate]:
@@ -283,6 +302,20 @@ class RoundExecutor(ABC):
         state, exactly as if they had trained in-process; dropped clients
         keep their pre-round state.
         """
+
+    def export_state(self) -> Optional[Dict[str, object]]:
+        """Evolving executor state a checkpoint must capture (or ``None``).
+
+        Synchronous engines are stateless between rounds and return ``None``.
+        The async engine returns its stream state — in-flight updates, the
+        virtual clock, per-client task counters, and the screening window —
+        so a restored run replays bit-identically (see
+        :mod:`repro.fl.checkpoint`).
+        """
+        return None
+
+    def import_state(self, state: Optional[Dict[str, object]]) -> None:
+        """Adopt state exported by :meth:`export_state` (no-op by default)."""
 
     def close(self) -> None:
         """Release any pooled resources (idempotent)."""
@@ -709,26 +742,46 @@ class ParallelExecutor(RoundExecutor):
             decisions = {
                 cid: self._decide(round_index, cid, attempt) for cid, attempt in batch
             }
-            try:
-                pool = self._ensure_pool()
-                submit_at = monotonic()
-                futures = {
-                    cid: pool.submit(
-                        _worker_run_client,
-                        cid,
-                        by_id[cid].get_mutable_state(),
-                        payload_by_id[cid],
-                        self.wire_dtype,
-                        decisions[cid],
-                    )
-                    for cid, attempt in batch
-                }
-            except BrokenProcessPool as exc:
-                _spend_respawn(f"pool rejected submissions: {exc!r}")
-                continue
             next_pending: Dict[int, int] = {}
             pool_broken = False
-            stuck_worker = False
+            stuck_workers = 0
+            # Sliding-window submission: at most ``num_workers`` futures are
+            # outstanding, so every submitted task starts (essentially)
+            # immediately and its ``client_timeout`` budget can be measured
+            # from its *own* submit time.  Submitting the whole wave at once
+            # would measure every budget from the shared wave start, and a
+            # client queued behind a genuine straggler would time out
+            # spuriously without ever having run.
+            outstanding: List[Tuple[int, int]] = []  # (cid, attempt), submit order
+            futures: Dict[int, object] = {}
+            submit_at: Dict[int, float] = {}
+            next_index = 0
+
+            def _refill() -> None:
+                """Top the window up to the pool's *unstuck* capacity."""
+                nonlocal next_index, pool_broken
+                capacity = self.num_workers - stuck_workers
+                while (
+                    not pool_broken
+                    and next_index < len(batch)
+                    and len(outstanding) < capacity
+                ):
+                    cid, attempt = batch[next_index]
+                    try:
+                        futures[cid] = pool.submit(
+                            _worker_run_client,
+                            cid,
+                            by_id[cid].get_mutable_state(),
+                            payload_by_id[cid],
+                            self.wire_dtype,
+                            decisions[cid],
+                        )
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        return
+                    submit_at[cid] = monotonic()
+                    outstanding.append((cid, attempt))
+                    next_index += 1
 
             def _retry_or_drop(cid: int, attempt: int, kind: str, message: str) -> None:
                 if attempt < self.max_retries:
@@ -743,13 +796,24 @@ class ParallelExecutor(RoundExecutor):
                         )
                     )
 
-            for cid, attempt in batch:
+            try:
+                pool = self._ensure_pool()
+                _refill()
+            except BrokenProcessPool as exc:
+                _spend_respawn(f"pool rejected submissions: {exc!r}")
+                continue
+            if pool_broken and not futures:
+                _spend_respawn("pool rejected submissions")
+                continue
+
+            while outstanding:
+                cid, attempt = outstanding.pop(0)
                 future = futures[cid]
                 budgets = []
                 if deadline is not None:
                     budgets.append(deadline)
                 if self.client_timeout is not None:
-                    budgets.append(submit_at + self.client_timeout)
+                    budgets.append(submit_at[cid] + self.client_timeout)
                 try:
                     if pool_broken:
                         # The pool died earlier in this wave.  Futures that
@@ -771,17 +835,24 @@ class ParallelExecutor(RoundExecutor):
                             f"round timed out after {self.round_timeout:.1f}s waiting "
                             f"for client {cid}; worker pool terminated"
                         ) from None
-                    # Per-client straggler budget exceeded.  The worker may
-                    # still be busy with it, so recycle the pool after this
-                    # wave (without charging the respawn budget: the pool is
-                    # healthy, just occupied).
-                    stuck_worker = True
-                    _retry_or_drop(
-                        cid,
-                        attempt,
-                        "straggler",
-                        f"no result within client_timeout={self.client_timeout:.1f}s",
-                    )
+                    # Per-client straggler budget exceeded.  cancel() guards
+                    # the residual race where the task never actually started
+                    # (it cancels -> re-run without charging the retry
+                    # budget); otherwise that client really stalled its
+                    # worker, so shrink the window and recycle the pool
+                    # after this wave (without charging the respawn budget:
+                    # the pool is healthy, just occupied).
+                    if future.cancel():
+                        next_pending[cid] = attempt
+                    else:
+                        stuck_workers += 1
+                        _retry_or_drop(
+                            cid,
+                            attempt,
+                            "straggler",
+                            f"no result within client_timeout="
+                            f"{self.client_timeout:.1f}s",
+                        )
                 except BrokenProcessPool as exc:
                     pool_broken = True
                     if not tolerant:
@@ -845,11 +916,16 @@ class ParallelExecutor(RoundExecutor):
                     )
                     if attempt:
                         retries[cid] = attempt
+                _refill()
+            # Anything never submitted (the pool died, or stuck workers ate
+            # the whole window) re-runs next wave without a retry charge.
+            for cid, attempt in batch[next_index:]:
+                next_pending[cid] = attempt
             if pool_broken:
                 _spend_respawn(
                     f"re-running {len(next_pending)} client(s) whose results were lost"
                 )
-            elif stuck_worker:
+            elif stuck_workers:
                 # Recycle silently: a straggler-occupied worker would leak
                 # into the next wave/round otherwise.
                 self._terminate_pool()
@@ -884,6 +960,15 @@ def make_executor(
     fault_injector: Optional[FaultInjector] = None,
     byzantine_config: Optional[ByzantineConfig] = None,
     byzantine_injector: Optional[ByzantineInjector] = None,
+    buffer_size: int = 4,
+    concurrency: Optional[int] = None,
+    staleness_policy: str = "polynomial",
+    staleness_alpha: float = 0.5,
+    staleness_hinge: int = 4,
+    staleness_budget: Optional[int] = None,
+    screening: Optional[ScreeningConfig] = None,
+    screen_window: int = 16,
+    client_latency: float = 1.0,
 ) -> RoundExecutor:
     """Build a round executor from plain configuration values.
 
@@ -892,6 +977,13 @@ def make_executor(
     ``byzantine_config`` builds a :class:`ByzantineInjector` while
     ``byzantine_injector`` accepts a pre-built one (e.g. with a per-client
     plan of heterogeneous attacks).
+
+    The ``buffer_size`` through ``client_latency`` knobs configure the
+    ``async`` backend (see :class:`repro.fl.async_engine.AsyncExecutor`) and
+    are ignored by the synchronous engines.  ``screening`` enables the async
+    engine's *streaming* admission screener — async runs should leave the
+    server-side ``FLServer.screening`` off, since each flush has already
+    been screened at admission.
     """
     if fault_injector is None and fault_config is not None and fault_config.enabled:
         fault_injector = FaultInjector(fault_config)
@@ -921,6 +1013,21 @@ def make_executor(
             wire_dtype=wire_dtype,
             round_timeout=round_timeout,
             max_pool_respawns=max_pool_respawns,
+            **policy,
+        )
+    if backend == "async":
+        from repro.fl.async_engine import AsyncExecutor
+
+        return AsyncExecutor(
+            buffer_size=buffer_size,
+            concurrency=concurrency,
+            staleness_policy=staleness_policy,
+            staleness_alpha=staleness_alpha,
+            staleness_hinge=staleness_hinge,
+            staleness_budget=staleness_budget,
+            screening=screening,
+            screen_window=screen_window,
+            client_latency=client_latency,
             **policy,
         )
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

@@ -26,6 +26,7 @@ The executors consume decisions in two places:
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from dataclasses import dataclass
@@ -140,6 +141,29 @@ class FaultInjector:
         if draw < edge:
             return FaultDecision(kind="worker_death")
         return NO_FAULT
+
+    def delay_for(self, round_index: int, client_id: int, attempt: int) -> float:
+        """Total injected latency (seconds) for this execution attempt.
+
+        The straggler delay of :meth:`decide` (zero for healthy attempts)
+        plus a heavy-tailed lognormal jitter term
+        ``jitter_scale * exp(jitter_sigma * N(0, 1))`` when the config
+        enables jitter.  Like every fault draw the sample is stateless in
+        ``(seed, round, client, attempt)``, so arrival schedules built from
+        it replay identically across backends and across resume.  The async
+        engine advances *virtual* time by this amount; synchronous callers
+        may sleep it instead.
+        """
+        decision = self.decide(round_index, client_id, attempt)
+        base = decision.delay_seconds if decision.kind == "straggler" else 0.0
+        config = self.config
+        if config.jitter_scale <= 0.0:
+            return base
+        rng = derive_rng(config.seed, "delay", round_index, client_id, attempt)
+        jitter = config.jitter_scale * math.exp(
+            config.jitter_sigma * float(rng.standard_normal())
+        )
+        return base + jitter
 
     def _coerce(self, planned: PlanValue) -> FaultDecision:
         if isinstance(planned, FaultDecision):

@@ -34,8 +34,9 @@ surface in ``RoundMetrics.rejected_clients`` / ``anomaly_scores``.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -171,3 +172,101 @@ def screen_updates(
             ),
         )
     return report
+
+
+class StreamingScreener:
+    """Admission-time screening for the asynchronous round engine.
+
+    :func:`screen_updates` compares each update against the *synchronous
+    cohort* it arrived with — a population the async engine never has, since
+    updates stream in one at a time.  This screener replaces the cohort with
+    a sliding window of the last ``window`` *accepted* deltas and applies the
+    same statistical rules against the window's coordinate-wise median:
+    relative norm bound, distance-based outlier score, and direction cosine.
+    Finiteness and the absolute norm bound need no population and always
+    apply.
+
+    Only accepted deltas enter the window, so a rejected Byzantine update
+    cannot drag the reference median toward itself on later arrivals.  The
+    cold start is the known weakness: until ``config.min_updates`` deltas
+    have been accepted the statistical rules are skipped, exactly like the
+    synchronous screener with an undersized cohort.
+
+    Deltas here are taken against the *client's own broadcast version* (the
+    global state it trained from), not the flush-time global — an honestly
+    stale update should look like an honest update, not like an outlier.
+
+    The window is part of the stream's replayable state:
+    :meth:`export_state` / :meth:`import_state` round-trip it through
+    checkpoints so a resumed async run reproduces identical admission
+    decisions.
+    """
+
+    def __init__(
+        self, config: Optional[ScreeningConfig] = None, window: int = 16
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.config = config or ScreeningConfig()
+        self.window = int(window)
+        self._deltas: Deque[np.ndarray] = deque(maxlen=self.window)
+
+    def __len__(self) -> int:
+        return len(self._deltas)
+
+    def screen(self, client_id: int, delta: StateDict) -> Tuple[Optional[str], float]:
+        """Screen one arriving delta; returns ``(reject_reason, score)``.
+
+        ``reject_reason`` is ``None`` on acceptance (the delta then joins
+        the window) or one of :data:`REJECT_REASONS`.  ``score`` is the
+        anomaly score against the current window (``0.0`` during cold
+        start, ``inf`` for non-finite deltas) — telemetry either way.
+        """
+        config = self.config
+        flat = flatten_state(delta).astype(np.float64, copy=False)
+        if not np.all(np.isfinite(flat)):
+            return "non_finite", float("inf")
+        norm = float(np.linalg.norm(flat))
+        if config.max_delta_norm is not None and norm > config.max_delta_norm:
+            return "norm_bound", 0.0
+        score = 0.0
+        reason: Optional[str] = None
+        if len(self._deltas) >= config.min_updates:
+            matrix = np.stack(list(self._deltas))
+            center = np.median(matrix, axis=0)
+            center_norm = float(np.linalg.norm(center))
+            residuals = np.linalg.norm(matrix - center[None, :], axis=1)
+            scale = max(float(np.median(residuals)), _EPS)
+            score = float(np.linalg.norm(flat - center) / scale)
+            median_norm = float(np.median(np.linalg.norm(matrix, axis=1)))
+            denominator = norm * center_norm
+            cosine = float(flat @ center / denominator) if denominator > _EPS else 1.0
+            if config.norm_multiplier > 0 and norm > config.norm_multiplier * max(
+                median_norm, _EPS
+            ):
+                reason = "norm_outlier"
+            elif config.outlier_threshold > 0 and score > config.outlier_threshold:
+                reason = "distance_outlier"
+            elif config.min_cosine is not None and cosine < config.min_cosine:
+                reason = "direction"
+        if reason is not None:
+            _log.warning(
+                "streaming screener quarantined client %d: %s (score %.2f)",
+                client_id,
+                reason,
+                score,
+            )
+            return reason, score
+        self._deltas.append(np.array(flat, copy=True))
+        return None, score
+
+    def export_state(self) -> List[np.ndarray]:
+        """The window contents, oldest first (checkpoint payload)."""
+        return [np.array(delta, copy=True) for delta in self._deltas]
+
+    def import_state(self, deltas: Sequence[np.ndarray]) -> None:
+        """Restore a window exported by :meth:`export_state`."""
+        self._deltas = deque(
+            (np.asarray(delta, dtype=np.float64) for delta in deltas),
+            maxlen=self.window,
+        )

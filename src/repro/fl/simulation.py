@@ -78,6 +78,12 @@ class RoundMetrics:
     #: distance to the round's median delta over the median such distance;
     #: ``inf`` flags non-finite updates.  Empty when screening is off.
     anomaly_scores: Dict[int, float] = field(default_factory=dict)
+    #: Async engine only: clients whose update arrived with a version lag
+    #: beyond the staleness budget and was discarded, mapped to the lag.
+    stale_clients: Dict[int, int] = field(default_factory=dict)
+    #: Async engine only: mean version lag of the *admitted* updates this
+    #: aggregation step (0.0 on synchronous engines, where lag is always 0).
+    mean_staleness: float = 0.0
     #: Per-op counter deltas for the round when op profiling is enabled
     #: (see :mod:`repro.nn.diagnostics`); empty otherwise.  Besides the
     #: profiled ops, a synthetic ``"workspace"`` entry reports the round's
@@ -148,6 +154,15 @@ class FLHistory:
         counts: Dict[int, int] = {}
         for metrics in self.round_metrics:
             for client_id in metrics.dropped_clients:
+                counts[client_id] = counts.get(client_id, 0) + 1
+        return counts
+
+    def stale_client_rounds(self) -> Dict[int, int]:
+        """How many aggregation steps each client's update arrived too stale
+        to admit (async engine's staleness budget)."""
+        counts: Dict[int, int] = {}
+        for metrics in self.round_metrics:
+            for client_id in metrics.stale_clients:
                 counts[client_id] = counts.get(client_id, 0) + 1
         return counts
 
@@ -266,12 +281,26 @@ class FederatedSimulation:
             # The executor already enforced its min_participation quorum;
             # re-asserting it here guards the aggregation against any
             # executor handing over a pathologically small survivor set.
+            # The async engine reports its own quorum base (one execute()
+            # call is one buffer flush, not one full cohort).
             after = self.server.aggregate(
                 updates,
-                expected_participants=len(participants),
+                expected_participants=(
+                    len(participants)
+                    if execution.expected_participants is None
+                    else execution.expected_participants
+                ),
                 min_participation=self.executor.min_participation,
             )
         screening = self.server.last_screening
+        # Quarantines can come from server-side screening (synchronous
+        # engines) or from the async engine's streaming admission screener;
+        # a run uses one or the other, so merging loses nothing.
+        rejected = dict(execution.rejected)
+        anomaly_scores = dict(execution.anomaly_scores)
+        if screening is not None:
+            rejected.update(screening.rejected)
+            anomaly_scores.update(screening.scores)
         round_losses = {u.client_id: u.train_loss for u in updates}
         self.history.train_losses.append(round_losses)
         self.history.round_metrics.append(
@@ -289,8 +318,14 @@ class FederatedSimulation:
                     failure.client_id: failure.kind for failure in execution.failures
                 },
                 retried_clients=dict(execution.retries),
-                rejected_clients=dict(screening.rejected) if screening else {},
-                anomaly_scores=dict(screening.scores) if screening else {},
+                rejected_clients=rejected,
+                anomaly_scores=anomaly_scores,
+                stale_clients=dict(execution.stale),
+                mean_staleness=(
+                    float(np.mean(execution.staleness_lags))
+                    if execution.staleness_lags
+                    else 0.0
+                ),
                 op_stats=execution.op_stats,
             )
         )

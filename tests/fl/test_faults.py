@@ -300,6 +300,51 @@ class TestParallelFaultTolerance:
         assert history.round_metrics[0].dropped_clients == {0: "straggler"}
         assert set(history.train_losses[0]) == {1, 2, 3}
 
+    def test_queued_client_behind_straggler_is_not_charged(
+        self, tiny_vector_dataset
+    ):
+        # One worker, so every other client queues behind the straggler.
+        # Their timeout budget must start when *they* are submitted, not
+        # when the wave starts: only the genuine straggler may be dropped.
+        injector = _plan_injector(
+            {(0, 0, 0): FaultDecision(kind="straggler", delay_seconds=10.0)}
+        )
+        executor = ParallelExecutor(
+            num_workers=1,
+            fault_injector=injector,
+            client_timeout=1.0,
+            max_retries=0,
+            min_participation=0.25,
+        )
+        _, history = _run_federation(tiny_vector_dataset, executor, rounds=1)
+        assert history.round_metrics[0].dropped_clients == {0: "straggler"}
+        assert set(history.train_losses[0]) == {1, 2, 3}
+
+    def test_timeout_after_transient_retry_is_reported_once(
+        self, tiny_vector_dataset
+    ):
+        # Transient fault on attempt 0, straggler past the budget on the
+        # retry: one entry in dropped_clients, attributed to the final
+        # failure kind — never one entry per attempt.
+        injector = _plan_injector(
+            {
+                (0, 0, 0): "transient",
+                (0, 0, 1): FaultDecision(kind="straggler", delay_seconds=10.0),
+            }
+        )
+        executor = ParallelExecutor(
+            num_workers=2,
+            fault_injector=injector,
+            client_timeout=1.0,
+            max_retries=1,
+            min_participation=0.25,
+            backoff=RetryBackoff(base_seconds=0.0),
+        )
+        _, history = _run_federation(tiny_vector_dataset, executor, rounds=1)
+        metrics = history.round_metrics[0]
+        assert metrics.dropped_clients == {0: "straggler"}
+        assert set(history.train_losses[0]) == {1, 2, 3}
+
 
 class TestExecutorLifecycle:
     class _RecordingExecutor(SequentialExecutor):
