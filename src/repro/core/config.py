@@ -16,6 +16,10 @@ STALENESS_POLICIES = ("constant", "polynomial", "hinge")
 #: (implemented in :mod:`repro.fl.aggregation`).
 AGGREGATORS = ("fedavg", "median", "trimmed_mean", "norm_clip", "krum", "multi_krum")
 
+#: Update-compression codecs understood by :class:`ExecutionConfig` (the wire
+#: protocol and codec implementations live in :mod:`repro.fl.communication`).
+WIRE_CODECS = ("none", "topk", "qsgd", "delta")
+
 #: Malicious-client behaviours understood by :class:`ByzantineConfig`
 #: (implemented in :mod:`repro.fl.malicious`; ``"none"`` means honest).
 BYZANTINE_ATTACKS = (
@@ -149,6 +153,19 @@ class ExecutionConfig:
         of virtual time) per client task, on top of which injected
         straggler delays and lognormal arrival jitter accumulate.  Only
         shapes arrival *order*; no real time is slept.
+    codec:
+        Update-compression codec applied at the executors' collection point
+        (see :mod:`repro.fl.communication`): ``"none"`` (dense, default),
+        ``"topk"`` (sparsification with error feedback), ``"qsgd"``
+        (stochastic quantization), or ``"delta"`` (float32 delta encoding).
+        Updates are decoded before screening/aggregation, so robust rules
+        always see real (post-wire) deltas.
+    topk_fraction:
+        ``topk`` codec: fraction of each float leaf's coordinates kept per
+        round (at least one per leaf).
+    qsgd_levels:
+        ``qsgd`` codec: quantization levels per sign, in ``[1, 127]``
+        (levels are shipped as signed int8).
     """
 
     backend: str = "sequential"
@@ -179,6 +196,9 @@ class ExecutionConfig:
     staleness_budget: Optional[int] = None
     screen_window: int = 16
     client_latency: float = 1.0
+    codec: str = "none"
+    topk_fraction: float = 0.05
+    qsgd_levels: int = 16
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
@@ -227,6 +247,12 @@ class ExecutionConfig:
             raise ValueError("screen_window must be at least 1")
         if self.client_latency < 0:
             raise ValueError("client_latency must be non-negative")
+        if self.codec not in WIRE_CODECS:
+            raise ValueError(f"codec must be one of {WIRE_CODECS}")
+        if not 0.0 < self.topk_fraction <= 1.0:
+            raise ValueError("topk_fraction must be in (0, 1]")
+        if not 1 <= self.qsgd_levels <= 127:
+            raise ValueError("qsgd_levels must be in [1, 127]")
         # Imported lazily: repro.nn.backend must stay importable without
         # repro.core (the nn substrate has no core dependency).
         from repro.nn.backend import available_backends, available_dtype_policies

@@ -229,7 +229,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SIGMA",
         help="log-scale spread of the arrival jitter (default: 0.75)",
     )
-    from repro.core.config import AGGREGATORS, BYZANTINE_ATTACKS
+    from repro.core.config import AGGREGATORS, BYZANTINE_ATTACKS, WIRE_CODECS
+
+    compression = parser.add_argument_group(
+        "communication compression",
+        "update-compression codecs applied at the executors' collection "
+        "point (see repro.fl.communication); defaults ship dense updates",
+    )
+    compression.add_argument(
+        "--codec",
+        default="none",
+        choices=WIRE_CODECS,
+        help="wire codec for client uploads: none (dense), topk "
+        "(sparsification with error feedback), qsgd (stochastic "
+        "quantization), delta (float32 delta encoding) (default: none)",
+    )
+    compression.add_argument(
+        "--topk-fraction",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="fraction of coordinates the topk codec keeps per leaf "
+        "(default: 0.05)",
+    )
+    compression.add_argument(
+        "--qsgd-levels",
+        type=int,
+        default=16,
+        metavar="LEVELS",
+        help="quantization levels per sign for the qsgd codec, 1-127 "
+        "(default: 16)",
+    )
 
     robust = parser.add_argument_group(
         "Byzantine robustness",
@@ -401,6 +431,9 @@ def main(argv=None) -> int:
             staleness_budget=args.staleness_budget,
             screen_window=args.screen_window,
             client_latency=args.client_latency,
+            codec=args.codec,
+            topk_fraction=args.topk_fraction,
+            qsgd_levels=args.qsgd_levels,
         ),
         faults=parse_fault_config(
             args.inject_faults,

@@ -131,6 +131,9 @@ def build_executor() -> RoundExecutor:
         ),
         screen_window=config.screen_window,
         client_latency=config.client_latency,
+        codec=config.codec,
+        topk_fraction=config.topk_fraction,
+        qsgd_levels=config.qsgd_levels,
     )
 
 

@@ -78,6 +78,7 @@ import numpy as np
 from repro.core.config import STALENESS_POLICIES, ScreeningConfig
 from repro.fl.aggregation import apply_delta, staleness_weight, state_delta
 from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.communication import Codec
 from repro.fl.executor import (
     ClientExecution,
     RoundExecution,
@@ -114,6 +115,10 @@ class _InFlight:
     train_loss: float
     compute_seconds: float
     attempts: int  # extra attempts the task needed (0 = first try)
+    #: Actual wire size of the update's upload payload (post-codec).  The
+    #: plain-default ``0`` means "dense" — it keeps in-flight entries from
+    #: pre-codec checkpoints loadable and is billed as the dense size.
+    wire_nbytes: int = 0
 
 
 class AsyncExecutor(RoundExecutor):
@@ -167,6 +172,7 @@ class AsyncExecutor(RoundExecutor):
         client_timeout: Optional[float] = None,
         min_participation: float = 1.0,
         byzantine: Optional[ByzantineInjector] = None,
+        codec: Optional[Codec] = None,
     ) -> None:
         if buffer_size < 1:
             raise ValueError("buffer_size must be at least 1")
@@ -195,6 +201,7 @@ class AsyncExecutor(RoundExecutor):
             None if staleness_budget is None else int(staleness_budget)
         )
         self.client_latency = float(client_latency)
+        self.codec = codec
         self.screener = (
             StreamingScreener(screening, window=screen_window)
             if screening is not None
@@ -236,6 +243,7 @@ class AsyncExecutor(RoundExecutor):
         stale: Dict[int, int] = {}
         bytes_broadcast = 0
         bytes_aggregated = 0
+        bytes_aggregated_dense = 0
 
         while len(buffer) < self.buffer_size:
             while queue and len(self._heap) < cap:
@@ -252,7 +260,9 @@ class AsyncExecutor(RoundExecutor):
             self._vclock = max(self._vclock, arrival_vtime)
             cid = entry.client_id
             self._free_at[cid] = self._vclock
-            bytes_aggregated += state_dict_nbytes(entry.state)
+            dense_nbytes = state_dict_nbytes(entry.state)
+            bytes_aggregated += entry.wire_nbytes or dense_nbytes
+            bytes_aggregated_dense += dense_nbytes
             if entry.attempts:
                 retries[cid] = max(retries.get(cid, 0), entry.attempts)
             lag = version - entry.origin_version
@@ -310,10 +320,11 @@ class AsyncExecutor(RoundExecutor):
                 f"{len(failures)} failed{': ' + detail if detail else ''}"
             )
         self._check_participation(attempted, len(buffer), failures)
-        return RoundExecution(
+        return self._finalize_execution(RoundExecution(
             results=results,
             bytes_broadcast=bytes_broadcast,
             bytes_aggregated=bytes_aggregated,
+            bytes_aggregated_dense=bytes_aggregated_dense,
             failures=failures,
             retries=retries,
             op_stats=self._profile_end(profile_token),
@@ -322,7 +333,7 @@ class AsyncExecutor(RoundExecutor):
             stale=stale,
             staleness_lags=lags,
             expected_participants=attempted,
-        )
+        ))
 
     # -- task dispatch ---------------------------------------------------
     def _dispatch(
@@ -417,6 +428,19 @@ class AsyncExecutor(RoundExecutor):
                 )
                 if corrupted is not update.state:
                     update = replace(update, state=corrupted)
+            # Wire compression happens at dispatch — the same collection
+            # point as the synchronous engines (post-corruption) — keyed by
+            # the task index, matching the fault/Byzantine keying.  The
+            # entry carries the *decoded* state, so screening and staleness
+            # weighting below operate on what actually crossed the wire.
+            wire_reference = (
+                current_global
+                if self.codec is not None and self.codec.needs_reference
+                else None
+            )
+            update, wire_nbytes, _ = self._encode_collected(
+                task_index, update, wire_reference, client
+            )
             arrival = start + latency + self.client_latency + delay
             entry = _InFlight(
                 client_id=cid,
@@ -428,6 +452,7 @@ class AsyncExecutor(RoundExecutor):
                 train_loss=update.train_loss,
                 compute_seconds=watch.elapsed,
                 attempts=attempt,
+                wire_nbytes=wire_nbytes,
             )
             heapq.heappush(self._heap, (arrival, self._seq, entry))
             self._seq += 1

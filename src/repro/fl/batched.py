@@ -468,12 +468,14 @@ class BatchedExecutor(SequentialExecutor):
             return super().execute(participants, server)
         round_index = server.round
         reference = self._byzantine_reference(server)
+        wire_reference = self._wire_reference(server)
         profile_token = self._profile_begin()
         results_by_id: Dict[int, ClientExecution] = {}
         failures: List[ClientFailure] = []
         retries: Dict[int, int] = {}
         bytes_broadcast = 0
         bytes_aggregated = 0
+        bytes_aggregated_dense = 0
         groups = self._plan_groups(participants)
         executed: set = set()
         for client in participants:
@@ -482,12 +484,13 @@ class BatchedExecutor(SequentialExecutor):
             grouped = groups.get(client.client_id)
             if grouped is None:
                 collected: List[ClientExecution] = []
-                sent, received = self._run_client(
-                    client, server, round_index, False, reference,
+                sent, received, received_dense = self._run_client(
+                    client, server, round_index, False, reference, wire_reference,
                     collected, failures, retries,
                 )
                 bytes_broadcast += sent
                 bytes_aggregated += received
+                bytes_aggregated_dense += received_dense
                 if collected:
                     results_by_id[client.client_id] = collected[0]
                 executed.add(client.client_id)
@@ -507,7 +510,11 @@ class BatchedExecutor(SequentialExecutor):
             per_client_seconds = watch.elapsed / len(group)
             for member, update in zip(group, updates):
                 update = self._corrupt_update(round_index, update, reference)
-                bytes_aggregated += state_dict_nbytes(update.state)
+                update, wire_bytes, dense_bytes = self._encode_collected(
+                    round_index, update, wire_reference, member
+                )
+                bytes_aggregated += wire_bytes
+                bytes_aggregated_dense += dense_bytes
                 results_by_id[member.client_id] = ClientExecution(
                     update=update, compute_seconds=per_client_seconds
                 )
@@ -518,14 +525,15 @@ class BatchedExecutor(SequentialExecutor):
             for client in participants
             if client.client_id in results_by_id
         ]
-        return RoundExecution(
+        return self._finalize_execution(RoundExecution(
             results=results,
             bytes_broadcast=bytes_broadcast,
             bytes_aggregated=bytes_aggregated,
+            bytes_aggregated_dense=bytes_aggregated_dense,
             failures=failures,
             retries=retries,
             op_stats=self._profile_end(profile_token),
-        )
+        ))
 
     def close(self) -> None:
         # The executor owns the workspace-freelist lifetime: buffers persist

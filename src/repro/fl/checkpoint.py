@@ -31,6 +31,7 @@ import pickle
 import re
 from typing import Dict, List, Optional
 
+from repro.fl.communication import WIRE_FORMAT_VERSION, codec_name
 from repro.nn.backend import active_backend_name, active_compute_dtype
 from repro.nn.serialization import pack_state_dict, unpack_state_dict
 from repro.utils.logging import get_logger
@@ -82,6 +83,12 @@ def save_checkpoint(simulation, directory: str, keep: int = 0) -> str:
         # portable across backends.
         "nn_backend": active_backend_name(),
         "compute_dtype": active_compute_dtype(),
+        # The wire codec shapes the run's numerics (lossy codecs) and the
+        # clients' error-feedback residuals; restoring under a different
+        # codec (or a different wire-format revision) would not replay the
+        # interrupted run, so restores refuse the mismatch.
+        "wire_codec": codec_name(getattr(simulation.executor, "codec", None)),
+        "wire_format_version": WIRE_FORMAT_VERSION,
         "server_state": pack_state_dict(simulation.server.global_state()),
         # clone(): the snapshot must not alias the clients' live RNGs.
         "clients": {
@@ -147,6 +154,24 @@ def restore_simulation(simulation, path: str) -> int:
             f"simulation is running {active_backend_name()!r}/"
             f"{active_compute_dtype()!r}; re-run with the matching "
             "--nn-backend/--compute-dtype (or restart training from scratch)"
+        )
+    # Pre-codec checkpoints carry no wire metadata; they were all written by
+    # dense (codec-free) runs at wire format 1.
+    saved_codec = payload.get("wire_codec", "none")
+    saved_wire_version = payload.get("wire_format_version", WIRE_FORMAT_VERSION)
+    active_codec = codec_name(getattr(simulation.executor, "codec", None))
+    if saved_codec != active_codec:
+        raise ValueError(
+            f"incompatible checkpoint: {path} was written with wire codec "
+            f"{saved_codec!r}, but the simulation is running "
+            f"{active_codec!r}; re-run with the matching --codec (or restart "
+            "training from scratch)"
+        )
+    if saved_wire_version != WIRE_FORMAT_VERSION:
+        raise ValueError(
+            f"incompatible checkpoint: {path} was written at wire format "
+            f"version {saved_wire_version!r}; this build speaks version "
+            f"{WIRE_FORMAT_VERSION}"
         )
     client_states = payload["clients"]
     simulation_ids = {client.client_id for client in simulation.clients}

@@ -60,6 +60,11 @@ class ClientMutableState:
 
     ``extra`` carries subclass state: :class:`repro.core.cip_client.CIPClient`
     stores its secret perturbation and the perturbation optimizer there.
+
+    ``wire_residual`` is the client's error-feedback residual for lossy wire
+    codecs (see :class:`repro.fl.communication.TopKCodec`): what previous
+    rounds left untransmitted.  It lives here so worker round-trips and
+    checkpoints carry it, making compressed runs resume bit-identically.
     """
 
     model_state: StateDict
@@ -68,6 +73,7 @@ class ClientMutableState:
     seed_rng: Optional[np.random.Generator] = None
     augment_rng: Optional[np.random.Generator] = None
     extra: Dict[str, object] = field(default_factory=dict)
+    wire_residual: Optional[StateDict] = None
 
     def clone(self) -> "ClientMutableState":
         """A fully independent deep copy of this snapshot.
@@ -107,6 +113,7 @@ class FLClient:
             weight_decay=self.config.weight_decay,
         )
         self._round = 0
+        self._wire_residual: Optional[StateDict] = None
 
     # -- FL protocol -----------------------------------------------------
     def receive_global(self, state: StateDict) -> None:
@@ -151,6 +158,11 @@ class FLClient:
             seed_rng=seed_rng,
             augment_rng=getattr(self.augment, "_rng", None),
             extra=self._extra_mutable_state(),
+            wire_residual=(
+                clone_state_dict(self._wire_residual)
+                if self._wire_residual is not None
+                else None
+            ),
         )
 
     def set_mutable_state(self, state: ClientMutableState) -> None:
@@ -162,6 +174,7 @@ class FLClient:
             self._seed = state.seed_rng
         if state.augment_rng is not None and self.augment is not None:
             self.augment._rng = state.augment_rng
+        self._wire_residual = state.wire_residual
         self._load_extra_state(state.extra)
 
     def _extra_mutable_state(self) -> Dict[str, object]:

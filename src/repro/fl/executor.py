@@ -60,6 +60,12 @@ import numpy as np
 
 from repro.core.config import ByzantineConfig, FaultConfig, ScreeningConfig
 from repro.fl.client import ClientMutableState, ClientUpdate, FLClient
+from repro.fl.communication import (
+    Codec,
+    CommunicationLedger,
+    decode_update,
+    make_codec,
+)
 from repro.fl.malicious import ByzantineInjector
 from repro.fl.faults import (
     NO_FAULT,
@@ -123,6 +129,11 @@ class RoundExecution:
     results: List[ClientExecution]
     bytes_broadcast: int
     bytes_aggregated: int
+    #: What the round's uploads would have cost densely (sum of raw array
+    #: bytes).  Equals ``bytes_aggregated`` without a lossy codec; with one,
+    #: ``bytes_aggregated`` counts the actual compressed wire payloads and
+    #: this field preserves the uncompressed baseline for ratio telemetry.
+    bytes_aggregated_dense: int = 0
     failures: List[ClientFailure] = field(default_factory=list)
     retries: Dict[int, int] = field(default_factory=dict)
     op_stats: Dict[str, "OpStat"] = field(default_factory=dict)
@@ -169,6 +180,69 @@ class RoundExecutor(ABC):
     client_timeout: Optional[float] = None
     min_participation: float = 1.0
     byzantine: Optional[ByzantineInjector] = None
+    #: Optional update-compression codec (see :mod:`repro.fl.communication`).
+    #: ``None`` keeps the dense fast path, bit-identical to the historical
+    #: engines.
+    codec: Optional[Codec] = None
+    _ledger: Optional[CommunicationLedger] = None
+
+    @property
+    def ledger(self) -> CommunicationLedger:
+        """Cumulative wire-traffic ledger, fed with every executed round's
+        actual payload sizes (post-codec uploads)."""
+        if self._ledger is None:
+            self._ledger = CommunicationLedger()
+        return self._ledger
+
+    def _wire_reference(self, server) -> Optional[StateDict]:
+        """The broadcast state reference-coding codecs encode against.
+
+        Fetched once per round, coordinator-side, so encode and decode use
+        the identical reference on every backend.
+        """
+        if self.codec is None or not self.codec.needs_reference:
+            return None
+        return server.global_state()
+
+    def _encode_collected(
+        self,
+        round_index: int,
+        update: ClientUpdate,
+        wire_reference: Optional[StateDict],
+        client: Optional[FLClient],
+    ) -> Tuple[ClientUpdate, int, int]:
+        """Run one collected update through the configured wire codec.
+
+        Called at the single point a (possibly corrupted) update enters the
+        round, on every backend.  Returns ``(update, wire_bytes,
+        dense_bytes)``: the update carrying the *decoded* state — so
+        screening, robust aggregation, and the global model see exactly what
+        crossed the wire — plus the compressed payload size and the dense
+        baseline.  For lossy codecs with error feedback the client's
+        residual is consumed and replaced here.
+        """
+        dense_bytes = state_dict_nbytes(update.state)
+        if self.codec is None:
+            return update, dense_bytes, dense_bytes
+        residual = getattr(client, "_wire_residual", None)
+        payload, next_residual = self.codec.encode_update(
+            round_index,
+            update.client_id,
+            update.state,
+            reference=wire_reference,
+            residual=residual,
+        )
+        if client is not None:
+            client._wire_residual = next_residual
+        decoded = decode_update(payload, reference=wire_reference)
+        return replace(update, state=decoded), len(payload), dense_bytes
+
+    def _finalize_execution(self, execution: RoundExecution) -> RoundExecution:
+        """Record the round's measured traffic in the ledger and return it."""
+        self.ledger.record_traffic(
+            execution.bytes_broadcast, execution.bytes_aggregated
+        )
+        return execution
 
     def _configure_fault_tolerance(
         self,
@@ -348,38 +422,44 @@ class SequentialExecutor(RoundExecutor):
         client_timeout: Optional[float] = None,
         min_participation: float = 1.0,
         byzantine: Optional[ByzantineInjector] = None,
+        codec: Optional[Codec] = None,
     ) -> None:
         self._configure_fault_tolerance(
             fault_injector, max_retries, backoff, client_timeout, min_participation,
             byzantine,
         )
+        self.codec = codec
 
     def execute(self, participants: Sequence[FLClient], server) -> RoundExecution:
         round_index = server.round
         tolerant = self._tolerant
         reference = self._byzantine_reference(server)
+        wire_reference = self._wire_reference(server)
         profile_token = self._profile_begin()
         results: List[ClientExecution] = []
         failures: List[ClientFailure] = []
         retries: Dict[int, int] = {}
         bytes_broadcast = 0
         bytes_aggregated = 0
+        bytes_aggregated_dense = 0
         for client in participants:
-            sent, received = self._run_client(
-                client, server, round_index, tolerant, reference,
+            sent, received, received_dense = self._run_client(
+                client, server, round_index, tolerant, reference, wire_reference,
                 results, failures, retries,
             )
             bytes_broadcast += sent
             bytes_aggregated += received
+            bytes_aggregated_dense += received_dense
         self._check_participation(len(participants), len(results), failures)
-        return RoundExecution(
+        return self._finalize_execution(RoundExecution(
             results=results,
             bytes_broadcast=bytes_broadcast,
             bytes_aggregated=bytes_aggregated,
+            bytes_aggregated_dense=bytes_aggregated_dense,
             failures=failures,
             retries=retries,
             op_stats=self._profile_end(profile_token),
-        )
+        ))
 
     def _run_client(
         self,
@@ -388,20 +468,23 @@ class SequentialExecutor(RoundExecutor):
         round_index: int,
         tolerant: bool,
         reference: Optional[StateDict],
+        wire_reference: Optional[StateDict],
         results: List[ClientExecution],
         failures: List[ClientFailure],
         retries: Dict[int, int],
-    ) -> Tuple[int, int]:
+    ) -> Tuple[int, int, int]:
         """One client's broadcast/train/collect cycle with the full retry policy.
 
         Appends to ``results``/``failures``/``retries`` in place and returns
-        the ``(bytes_broadcast, bytes_aggregated)`` the client contributed
-        (every attempt's broadcast counts, matching real wire traffic).
-        Shared with :class:`~repro.fl.batched.BatchedExecutor`, which routes
-        unbatchable clients through this exact path.
+        the ``(bytes_broadcast, bytes_aggregated, bytes_aggregated_dense)``
+        the client contributed (every attempt's broadcast counts, matching
+        real wire traffic; uploads are post-codec).  Shared with
+        :class:`~repro.fl.batched.BatchedExecutor`, which routes unbatchable
+        clients through this exact path.
         """
         bytes_broadcast = 0
         bytes_aggregated = 0
+        bytes_aggregated_dense = 0
         # Snapshot for rollback: a failed attempt may have advanced the
         # model, optimizer, or RNG state mid-training; deep-copying the
         # snapshot keeps it immune to that mutation.
@@ -439,13 +522,17 @@ class SequentialExecutor(RoundExecutor):
                 failure_kind, retriable, error = "error", True, repr(exc)
             else:
                 update = self._corrupt_update(round_index, update, reference)
-                bytes_aggregated += state_dict_nbytes(update.state)
+                update, wire_bytes, dense_bytes = self._encode_collected(
+                    round_index, update, wire_reference, client
+                )
+                bytes_aggregated += wire_bytes
+                bytes_aggregated_dense += dense_bytes
                 results.append(
                     ClientExecution(update=update, compute_seconds=watch.elapsed)
                 )
                 if attempt:
                     retries[client.client_id] = attempt
-                return bytes_broadcast, bytes_aggregated
+                return bytes_broadcast, bytes_aggregated, bytes_aggregated_dense
             if snapshot is None:
                 raise RoundExecutionError(
                     f"client {client.client_id} failed during local_update: {error}"
@@ -472,7 +559,7 @@ class SequentialExecutor(RoundExecutor):
                     message=error,
                 )
             )
-            return bytes_broadcast, bytes_aggregated
+            return bytes_broadcast, bytes_aggregated, bytes_aggregated_dense
 
 
 # ----------------------------------------------------------------------
@@ -581,6 +668,7 @@ class ParallelExecutor(RoundExecutor):
         min_participation: float = 1.0,
         max_pool_respawns: int = 2,
         byzantine: Optional[ByzantineInjector] = None,
+        codec: Optional[Codec] = None,
     ) -> None:
         resolved = num_workers or os.cpu_count() or 1
         if resolved < 1:
@@ -595,6 +683,7 @@ class ParallelExecutor(RoundExecutor):
         )
         self.num_workers = int(resolved)
         self.wire_dtype = wire_dtype
+        self.codec = codec
         self.round_timeout = round_timeout
         self.mp_context = mp_context
         self.max_pool_respawns = int(max_pool_respawns)
@@ -697,6 +786,7 @@ class ParallelExecutor(RoundExecutor):
         round_index = server.round
         tolerant = self._tolerant
         reference = self._byzantine_reference(server)
+        wire_reference = self._wire_reference(server)
         profile_token = self._profile_begin()
         by_id = {client.client_id: client for client in participants}
         payloads, bytes_broadcast = self._broadcast_payloads(participants, server)
@@ -713,6 +803,7 @@ class ParallelExecutor(RoundExecutor):
         retries: Dict[int, int] = {}
         respawns_left = self.max_pool_respawns
         bytes_aggregated = 0
+        bytes_aggregated_dense = 0
         first_wave = True
 
         def _spend_respawn(reason: str) -> None:
@@ -896,10 +987,11 @@ class ParallelExecutor(RoundExecutor):
                     )
                     _retry_or_drop(cid, attempt, kind, repr(exc))
                 else:
-                    bytes_aggregated += len(outcome.update_payload)
                     # The returned mutable state makes the coordinator's
                     # client object indistinguishable from one that trained
-                    # in-process.
+                    # in-process (it also round-trips the client's wire
+                    # residual unchanged, so the codec below sees the same
+                    # residual a sequential run would).
                     by_id[cid].set_mutable_state(outcome.mutable_state)
                     update = ClientUpdate(
                         client_id=outcome.client_id,
@@ -911,6 +1003,15 @@ class ParallelExecutor(RoundExecutor):
                     # path to the sequential engine) so both backends poison
                     # bit-identically; the worker trained honestly.
                     update = self._corrupt_update(round_index, update, reference)
+                    if self.codec is None:
+                        bytes_aggregated += len(outcome.update_payload)
+                        bytes_aggregated_dense += state_dict_nbytes(update.state)
+                    else:
+                        update, wire_bytes, dense_bytes = self._encode_collected(
+                            round_index, update, wire_reference, by_id[cid]
+                        )
+                        bytes_aggregated += wire_bytes
+                        bytes_aggregated_dense += dense_bytes
                     completed[cid] = ClientExecution(
                         update=update, compute_seconds=outcome.compute_seconds
                     )
@@ -936,14 +1037,15 @@ class ParallelExecutor(RoundExecutor):
             for client in participants
             if client.client_id in completed
         ]
-        return RoundExecution(
+        return self._finalize_execution(RoundExecution(
             results=results,
             bytes_broadcast=bytes_broadcast,
             bytes_aggregated=bytes_aggregated,
+            bytes_aggregated_dense=bytes_aggregated_dense,
             failures=failures,
             retries=retries,
             op_stats=self._profile_end(profile_token),
-        )
+        ))
 
 
 def make_executor(
@@ -969,6 +1071,10 @@ def make_executor(
     screening: Optional[ScreeningConfig] = None,
     screen_window: int = 16,
     client_latency: float = 1.0,
+    codec: object = None,
+    topk_fraction: float = 0.05,
+    qsgd_levels: int = 16,
+    codec_seed: int = 0,
 ) -> RoundExecutor:
     """Build a round executor from plain configuration values.
 
@@ -984,6 +1090,13 @@ def make_executor(
     engine's *streaming* admission screener — async runs should leave the
     server-side ``FLServer.screening`` off, since each flush has already
     been screened at admission.
+
+    ``codec`` selects the update-compression codec by registry name
+    (``"none"``/``"topk"``/``"qsgd"``/``"delta"``, see
+    :mod:`repro.fl.communication`) or accepts a pre-built
+    :class:`~repro.fl.communication.Codec`; ``topk_fraction`` /
+    ``qsgd_levels`` / ``codec_seed`` parameterize the lossy codecs.
+    ``None``/``"none"`` keeps the dense fast path.
     """
     if fault_injector is None and fault_config is not None and fault_config.enabled:
         fault_injector = FaultInjector(fault_config)
@@ -993,6 +1106,15 @@ def make_executor(
         and byzantine_config.enabled
     ):
         byzantine_injector = ByzantineInjector(byzantine_config)
+    if codec is None or isinstance(codec, str):
+        codec = make_codec(
+            codec,
+            topk_fraction=topk_fraction,
+            qsgd_levels=qsgd_levels,
+            seed=codec_seed,
+        )
+    elif not isinstance(codec, Codec):
+        raise TypeError(f"codec must be a registry name or a Codec, got {codec!r}")
     policy = dict(
         fault_injector=fault_injector,
         max_retries=max_retries,
@@ -1000,6 +1122,7 @@ def make_executor(
         client_timeout=client_timeout,
         min_participation=min_participation,
         byzantine=byzantine_injector,
+        codec=codec,
     )
     if backend == "sequential":
         return SequentialExecutor(**policy)

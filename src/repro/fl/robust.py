@@ -187,10 +187,16 @@ class StreamingScreener:
     apply.
 
     Only accepted deltas enter the window, so a rejected Byzantine update
-    cannot drag the reference median toward itself on later arrivals.  The
-    cold start is the known weakness: until ``config.min_updates`` deltas
-    have been accepted the statistical rules are skipped, exactly like the
-    synchronous screener with an undersized cohort.
+    cannot drag the reference median toward itself on later arrivals.  Cold
+    start is hardened rather than open: finiteness and the absolute norm
+    bound always apply, and once *any* delta has been accepted the relative
+    norm rule (``norm_multiplier`` x the window's median norm) applies even
+    below ``config.min_updates`` — so a round-0 norm-bomb arriving second is
+    quarantined instead of landing in the global model.  Only the
+    distance/cosine statistics wait for a full ``min_updates`` window (a
+    near-empty window's median direction is too noisy to reject against).
+    The very first arrival has no population at all; bounding it needs the
+    absolute ``max_delta_norm`` rule.
 
     Deltas here are taken against the *client's own broadcast version* (the
     global state it trained from), not the flush-time global — an honestly
@@ -231,7 +237,19 @@ class StreamingScreener:
             return "norm_bound", 0.0
         score = 0.0
         reason: Optional[str] = None
-        if len(self._deltas) >= config.min_updates:
+        if 0 < len(self._deltas) < config.min_updates:
+            # Warmup: the window is too small for the distance/cosine
+            # statistics, but the relative norm bound only needs a median
+            # norm — apply it so a cold-start norm-bomb cannot ride in
+            # unscreened.  Honest warmup arrivals have window-comparable
+            # norms and pass untouched.
+            window_norms = [float(np.linalg.norm(d)) for d in self._deltas]
+            median_norm = float(np.median(window_norms))
+            if config.norm_multiplier > 0 and norm > config.norm_multiplier * max(
+                median_norm, _EPS
+            ):
+                reason = "norm_outlier"
+        elif len(self._deltas) >= config.min_updates:
             matrix = np.stack(list(self._deltas))
             center = np.median(matrix, axis=0)
             center_norm = float(np.linalg.norm(center))

@@ -66,6 +66,12 @@ class RoundMetrics:
     client_compute_seconds: Dict[int, float]
     bytes_broadcast: int
     bytes_aggregated: int
+    #: Dense baseline of the round's uploads (sum of raw array bytes).
+    #: Equals ``bytes_aggregated`` without a wire codec; with a lossy codec
+    #: ``bytes_aggregated`` reports the actual compressed payload sizes and
+    #: this field keeps the uncompressed cost for compression-ratio
+    #: telemetry (see :mod:`repro.fl.communication`).
+    bytes_aggregated_dense: int = 0
     #: Clients dropped from the round after exhausting their retry budget,
     #: mapped to the failure kind ("crash", "straggler", "worker_death", ...).
     dropped_clients: Dict[int, str] = field(default_factory=dict)
@@ -314,6 +320,7 @@ class FederatedSimulation:
                 },
                 bytes_broadcast=execution.bytes_broadcast,
                 bytes_aggregated=execution.bytes_aggregated,
+                bytes_aggregated_dense=execution.bytes_aggregated_dense,
                 dropped_clients={
                     failure.client_id: failure.kind for failure in execution.failures
                 },

@@ -81,7 +81,20 @@ def unpack_state_dict(payload: bytes) -> Dict[str, np.ndarray]:
 def state_dicts_allclose(
     a: Dict[str, np.ndarray], b: Dict[str, np.ndarray], atol: float = 1e-10
 ) -> bool:
-    """Structural + numeric equality of two state dicts."""
+    """Structural + numeric equality of two state dicts.
+
+    Structure is compared strictly — same names, and per key the exact same
+    shape and dtype — *before* any value comparison.  ``np.allclose`` alone
+    would happily broadcast ``(3, 1)`` against ``(3,)`` and report equality,
+    which let wire-corruption bugs that reshape a leaf slip past exactness
+    tests.  NaNs never compare equal.
+    """
     if set(a) != set(b):
         return False
-    return all(np.allclose(a[name], b[name], atol=atol) for name in a)
+    for name in a:
+        va, vb = np.asarray(a[name]), np.asarray(b[name])
+        if va.shape != vb.shape or va.dtype != vb.dtype:
+            return False
+        if not np.allclose(va, vb, atol=atol, equal_nan=False):
+            return False
+    return True

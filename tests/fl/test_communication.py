@@ -61,3 +61,21 @@ class TestCompare:
         state = {"w": np.zeros(8)}
         report = compare_traffic(state, state, participants=2, rounds=3)
         assert report["overhead_pct"] == 0.0
+
+
+class TestLedgerDirections:
+    def test_record_traffic_tracks_both_directions(self):
+        ledger = CommunicationLedger()
+        ledger.record_traffic(1000, 100)
+        ledger.record_traffic(1000, 80)
+        assert ledger.rounds == 2
+        assert ledger.total_broadcast_bytes == 2000
+        assert ledger.total_upload_bytes == 180
+        assert ledger.total_bytes == 2180
+        assert ledger.per_round_bytes == [1100, 1080]
+
+    def test_record_round_still_bills_the_dense_wire_model(self):
+        ledger = CommunicationLedger()
+        state = {"w": np.zeros(10)}
+        ledger.record_round(state, 3)
+        assert ledger.total_broadcast_bytes == ledger.total_upload_bytes == 3 * 80

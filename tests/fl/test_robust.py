@@ -247,3 +247,70 @@ class TestCorruptState:
     def test_report_dataclass_counts(self):
         report = ScreeningReport()
         assert report.num_screened == 0
+
+
+class TestStreamingScreenerWarmup:
+    """Cold-start hardening: the relative norm rule applies below
+    ``min_updates`` as soon as any delta has been accepted."""
+
+    @staticmethod
+    def _delta(scale, seed=0):
+        rng = np.random.default_rng(seed)
+        return {
+            "w": scale * rng.normal(size=(4, 3)),
+            "b": scale * rng.normal(size=3),
+        }
+
+    def test_round_zero_norm_bomb_is_quarantined(self):
+        from repro.fl.robust import StreamingScreener
+
+        screener = StreamingScreener(ScreeningConfig(min_updates=3))
+        reason, _ = screener.screen(0, self._delta(0.1, seed=1))
+        assert reason is None  # first arrival: no population to compare to
+        # Second arrival, still far below min_updates: a 100x norm bomb
+        # must not ride into the global model unscreened.
+        reason, _ = screener.screen(1, self._delta(10.0, seed=2))
+        assert reason == "norm_outlier"
+        assert len(screener) == 1  # the bomb never joined the window
+
+    def test_honest_warmup_arrivals_are_unaffected(self):
+        from repro.fl.robust import StreamingScreener
+
+        screener = StreamingScreener(ScreeningConfig(min_updates=4))
+        for i in range(4):
+            reason, score = screener.screen(i, self._delta(0.1, seed=10 + i))
+            assert reason is None, i
+            assert score == 0.0
+        assert len(screener) == 4
+
+    def test_first_arrival_is_bounded_only_by_absolute_norm(self):
+        from repro.fl.robust import StreamingScreener
+
+        unbounded = StreamingScreener(ScreeningConfig(min_updates=3))
+        reason, _ = unbounded.screen(0, self._delta(50.0, seed=3))
+        assert reason is None  # nothing to compare against
+
+        bounded = StreamingScreener(
+            ScreeningConfig(min_updates=3, max_delta_norm=1.0)
+        )
+        reason, _ = bounded.screen(0, self._delta(50.0, seed=3))
+        assert reason == "norm_bound"
+
+    def test_warmup_decisions_replay_after_state_round_trip(self):
+        from repro.fl.robust import StreamingScreener
+
+        config = ScreeningConfig(min_updates=3)
+        original = StreamingScreener(config)
+        original.screen(0, self._delta(0.1, seed=20))
+        original.screen(1, self._delta(0.12, seed=21))
+
+        restored = StreamingScreener(config)
+        restored.import_state(original.export_state())
+        assert len(restored) == len(original)
+        for client_id, delta in [
+            (2, self._delta(0.11, seed=22)),   # honest: accepted by both
+            (3, self._delta(25.0, seed=23)),   # bomb: rejected by both
+        ]:
+            assert original.screen(client_id, delta) == restored.screen(
+                client_id, delta
+            )

@@ -54,3 +54,29 @@ def test_restored_model_predicts_identically(tmp_path):
     fresh.load_state_dict(load_state_dict(path))
     fresh.eval()
     np.testing.assert_allclose(fresh(Tensor(x)).data, before)
+
+
+def test_allclose_rejects_broadcastable_shape_mismatch():
+    # np.allclose silently broadcasts (3, 1) against (3,) — a (3, 1) leaf
+    # compared to a (3,) leaf of equal values must still be a mismatch.
+    a = {"w": np.zeros((3, 1))}
+    b = {"w": np.zeros(3)}
+    assert not state_dicts_allclose(a, b)
+    assert not state_dicts_allclose(b, a)
+
+
+def test_allclose_rejects_dtype_mismatch():
+    a = {"w": np.zeros(3, dtype=np.float64)}
+    b = {"w": np.zeros(3, dtype=np.float32)}
+    assert not state_dicts_allclose(a, b)
+
+
+def test_allclose_rejects_nan():
+    state = {"w": np.array([1.0, np.nan])}
+    assert not state_dicts_allclose(state, state)
+
+
+def test_allclose_accepts_equal_states():
+    a = {"w": np.arange(6, dtype=np.float64).reshape(2, 3)}
+    b = {"w": a["w"].copy()}
+    assert state_dicts_allclose(a, b)
