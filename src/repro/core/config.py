@@ -166,6 +166,27 @@ class ExecutionConfig:
     qsgd_levels:
         ``qsgd`` codec: quantization levels per sign, in ``[1, 127]``
         (levels are shipped as signed int8).
+    gate_aggregate:
+        Server-side aggregate sanity gate: after the aggregation rule
+        merges the round's accepted updates, reject the flush when the
+        merged state is non-finite or its delta norm explodes past
+        ``gate_norm_multiplier`` times the round's median accepted delta
+        norm, re-aggregate without the offending updates, and record the
+        offenders in ``RoundMetrics.rejected_clients``.  The last line of
+        defense when screening is off or an attack slips through it.
+    gate_norm_multiplier:
+        Norm-explosion threshold of the aggregate gate, as a multiple of
+        the median accepted delta norm.
+    checkpoint_dir:
+        Directory for periodic run checkpoints (see
+        :mod:`repro.fl.checkpoint`); ``None`` (default) disables
+        checkpointing for experiment-driven simulations.
+    checkpoint_every:
+        Checkpoint cadence in completed rounds (with ``checkpoint_dir``).
+    checkpoint_keep:
+        Retain only the newest ``checkpoint_keep`` checkpoints — the
+        last-good chain that corruption recovery falls back along
+        (``0`` keeps all).
     """
 
     backend: str = "sequential"
@@ -199,6 +220,11 @@ class ExecutionConfig:
     codec: str = "none"
     topk_fraction: float = 0.05
     qsgd_levels: int = 16
+    gate_aggregate: bool = False
+    gate_norm_multiplier: float = 10.0
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 1
+    checkpoint_keep: int = 3
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
@@ -253,6 +279,12 @@ class ExecutionConfig:
             raise ValueError("topk_fraction must be in (0, 1]")
         if not 1 <= self.qsgd_levels <= 127:
             raise ValueError("qsgd_levels must be in [1, 127]")
+        if self.gate_norm_multiplier <= 0:
+            raise ValueError("gate_norm_multiplier must be positive")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
+        if self.checkpoint_keep < 0:
+            raise ValueError("checkpoint_keep must be non-negative")
         # Imported lazily: repro.nn.backend must stay importable without
         # repro.core (the nn substrate has no core dependency).
         from repro.nn.backend import available_backends, available_dtype_policies
@@ -299,6 +331,21 @@ class FaultConfig:
         disables jitter.  The async engine uses it for replayable arrival
         order; decisions are stateless in ``(seed, round, client, attempt)``
         like every other fault draw.
+    wire_corrupt_rate:
+        Per-*transmission* probability that a client's encoded update
+        payload is corrupted in flight (bit flip, truncation, or header
+        garbling of the RFW1 frame — the kind is drawn from the same seeded
+        stream).  Unlike the client-fault rates above, this is a separate
+        channel: it is drawn independently of the training-fault draw and
+        does not count toward the rates-sum-to-1 constraint.  Each
+        retransmission gets a fresh draw keyed
+        ``(seed, "wire", round, client, attempt)``, so the corruption
+        schedule replays bit-identically on every backend.
+    checkpoint_corrupt_rate:
+        Per-checkpoint probability that a just-written checkpoint file is
+        corrupted on disk (simulated storage rot), keyed
+        ``(seed, "ckpt", round)``.  Exercises the digest-verified
+        last-good recovery chain in :mod:`repro.fl.checkpoint`.
     seed:
         Root seed of the fault stream.
     """
@@ -310,6 +357,8 @@ class FaultConfig:
     worker_death_rate: float = 0.0
     jitter_scale: float = 0.0
     jitter_sigma: float = 0.75
+    wire_corrupt_rate: float = 0.0
+    checkpoint_corrupt_rate: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -330,6 +379,10 @@ class FaultConfig:
             raise ValueError("jitter_scale must be non-negative")
         if self.jitter_sigma < 0:
             raise ValueError("jitter_sigma must be non-negative")
+        if not 0.0 <= self.wire_corrupt_rate <= 1.0:
+            raise ValueError("wire_corrupt_rate must be in [0, 1]")
+        if not 0.0 <= self.checkpoint_corrupt_rate <= 1.0:
+            raise ValueError("checkpoint_corrupt_rate must be in [0, 1]")
 
     @property
     def enabled(self) -> bool:
@@ -340,6 +393,8 @@ class FaultConfig:
                 self.transient_rate,
                 self.straggler_rate,
                 self.worker_death_rate,
+                self.wire_corrupt_rate,
+                self.checkpoint_corrupt_rate,
             )
         )
 

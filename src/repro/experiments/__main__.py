@@ -150,6 +150,68 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEED",
         help="root seed of the injected fault schedule (default: 0)",
     )
+    chaos = parser.add_argument_group(
+        "chaos engineering",
+        "seeded wire/checkpoint corruption and recovery knobs for chaos "
+        "drills (see DESIGN.md's fault taxonomy; replays bit-identically "
+        "under the same --fault-seed)",
+    )
+    chaos.add_argument(
+        "--chaos-wire",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="per-transmission probability of corrupting an uploaded update "
+        "payload (bit flip / truncation / header garbling); corrupted "
+        "deliveries are retried under --max-retries, then quarantined "
+        "(default: 0)",
+    )
+    chaos.add_argument(
+        "--chaos-checkpoint",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="per-checkpoint probability of corrupting the file just "
+        "written; resume falls back along the last-good chain "
+        "(default: 0)",
+    )
+    chaos.add_argument(
+        "--gate-aggregate",
+        action="store_true",
+        help="enable the server-side aggregate sanity gate: reject "
+        "non-finite or norm-exploded flushes and re-aggregate without the "
+        "offending updates",
+    )
+    chaos.add_argument(
+        "--gate-norm-multiplier",
+        type=float,
+        default=10.0,
+        metavar="X",
+        help="norm-explosion threshold of the aggregate gate, as a multiple "
+        "of the round's median accepted delta norm (default: 10)",
+    )
+    chaos.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="checkpoint federated runs into DIR (periodic, digest-"
+        "protected; resume skips corrupted files)",
+    )
+    chaos.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="ROUNDS",
+        help="checkpoint cadence in completed rounds (default: 1)",
+    )
+    chaos.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=3,
+        metavar="K",
+        help="retain the newest K checkpoints as the last-good fallback "
+        "chain; 0 keeps all (default: 3)",
+    )
     asynchronous = parser.add_argument_group(
         "asynchronous execution",
         "buffered streaming aggregation for --backend async "
@@ -334,16 +396,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def parse_fault_config(spec, seed, jitter_scale=0.0, jitter_sigma=0.75):
-    """Parse the --inject-faults CRASH,TRANSIENT,STRAGGLER,DELAY spec."""
+def parse_fault_config(
+    spec,
+    seed,
+    jitter_scale=0.0,
+    jitter_sigma=0.75,
+    wire_rate=0.0,
+    checkpoint_rate=0.0,
+):
+    """Parse the --inject-faults CRASH,TRANSIENT,STRAGGLER,DELAY spec.
+
+    ``wire_rate``/``checkpoint_rate`` (the --chaos-* flags) enable the
+    corruption channels on top of — or, when no client-fault spec is
+    given, instead of — the training-fault schedule.
+    """
     if spec is None:
-        if jitter_scale <= 0.0:
+        if jitter_scale <= 0.0 and wire_rate <= 0.0 and checkpoint_rate <= 0.0:
             return None
-        # Jitter-only schedule: no failures, just heavy-tailed arrivals.
+        # Chaos/jitter-only schedule: no training failures.
         from repro.core.config import FaultConfig
 
         return FaultConfig(
-            jitter_scale=jitter_scale, jitter_sigma=jitter_sigma, seed=seed
+            jitter_scale=jitter_scale,
+            jitter_sigma=jitter_sigma,
+            wire_corrupt_rate=wire_rate,
+            checkpoint_corrupt_rate=checkpoint_rate,
+            seed=seed,
         )
     from repro.core.config import FaultConfig
 
@@ -361,6 +439,8 @@ def parse_fault_config(spec, seed, jitter_scale=0.0, jitter_sigma=0.75):
         straggler_delay_seconds=delay,
         jitter_scale=jitter_scale,
         jitter_sigma=jitter_sigma,
+        wire_corrupt_rate=wire_rate,
+        checkpoint_corrupt_rate=checkpoint_rate,
         seed=seed,
     )
 
@@ -434,12 +514,19 @@ def main(argv=None) -> int:
             codec=args.codec,
             topk_fraction=args.topk_fraction,
             qsgd_levels=args.qsgd_levels,
+            gate_aggregate=args.gate_aggregate,
+            gate_norm_multiplier=args.gate_norm_multiplier,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_keep=args.checkpoint_keep,
         ),
         faults=parse_fault_config(
             args.inject_faults,
             args.fault_seed,
             jitter_scale=args.jitter_scale,
             jitter_sigma=args.jitter_sigma,
+            wire_rate=args.chaos_wire,
+            checkpoint_rate=args.chaos_checkpoint,
         ),
         byzantine=parse_byzantine_config(args),
     )

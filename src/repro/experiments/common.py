@@ -163,6 +163,9 @@ def configure_server_robustness(server) -> None:
         and server.screening is None
     ):
         server.screening = ScreeningConfig()
+    if config.gate_aggregate:
+        server.gate_aggregate = True
+        server.gate_norm_multiplier = config.gate_norm_multiplier
 
 
 def run_federated(server, clients, rounds: int, **sim_kwargs) -> FederatedSimulation:
@@ -173,6 +176,15 @@ def run_federated(server, clients, rounds: int, **sim_kwargs) -> FederatedSimula
     rounds, and always releases pooled workers before returning the
     (finished) simulation for inspection.
     """
+    config = _EXECUTION_CONFIG
+    if config.checkpoint_dir is not None and "checkpoint" not in sim_kwargs:
+        from repro.core.config import CheckpointConfig
+
+        sim_kwargs["checkpoint"] = CheckpointConfig(
+            directory=config.checkpoint_dir,
+            every=config.checkpoint_every,
+            keep=config.checkpoint_keep,
+        )
     configure_server_robustness(server)
     simulation = FederatedSimulation(
         server, clients, executor=build_executor(), **sim_kwargs

@@ -29,7 +29,12 @@ from repro.data.dataset import Dataset
 from repro.data.partition import partition_by_classes
 from repro.defenses.dp import DPClient, DPConfig
 from repro.defenses.hdp import HandcraftedFeatureExtractor
-from repro.experiments.common import get_bundle, make_cip_config, run_federated
+from repro.experiments.common import (
+    get_bundle,
+    get_execution_config,
+    make_cip_config,
+    run_federated,
+)
 from repro.experiments.profiles import Profile
 from repro.experiments.registry import register
 from repro.experiments.results import ExperimentResult
@@ -216,6 +221,20 @@ def _internal_attack_accuracies(
     run: FederatedRun, profile: Profile, seed: int = 0
 ) -> Tuple[float, float]:
     """(passive, active) internal attack accuracy against a finished run."""
+    backend = get_execution_config().backend
+    if backend == "async":
+        # The active attack replays gradient-ascent rounds against the
+        # victim and assumes the victim reports back every round; under the
+        # async engine's buffered schedule the victim's update may be
+        # buffered, stale-discarded, or lag-discounted, so the attack's
+        # premise does not hold.  Fail fast instead of reporting a
+        # meaningless attack accuracy.
+        raise ValueError(
+            "the active internal attack (fig4) requires a synchronous "
+            f"execution backend; got --backend {backend!r}.  Re-run with "
+            "--backend sequential/process/batched, or use the passive-only "
+            "experiments (fig5)."
+        )
     pool = min(profile.attack_pool // 2, len(run.victim_shard) // 2, len(run.bundle.test) // 2)
     members = run.victim_shard.shuffled(seed=derive_rng(seed, "am"))
     nonmembers = run.bundle.test.shuffled(seed=derive_rng(seed, "an"))

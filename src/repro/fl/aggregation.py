@@ -28,6 +28,20 @@ influence they exist to bound — and every aggregator preserves the incoming
 floating dtype (a ``wire_dtype=float32`` run must not round-trip its
 parameters through an unintended ``float64`` upcast).
 
+The robust rules additionally accept a keyword-only ``staleness`` sequence:
+the async engine's per-update decay weights ``s(lag)``.  Unlike
+``num_samples`` these are **server-derived** — the server computes the lag
+from its own version counter, an attacker cannot inflate them — so honoring
+them is safe, and it closes a real gap: a stale effective state sits close
+to the current global (its delta was decayed toward zero), which the
+selection geometry of median/Krum would otherwise read as *central*, i.e.
+maximally trustworthy.  Staleness-aware selection discounts such updates
+instead: the weighted median/trimmed-mean treat ``s`` as voting mass, and
+Krum penalizes scores by ``1 / s²`` (distances scale quadratically).  When
+``staleness`` is ``None`` or every weight is ``1.0`` — every synchronous
+round, and async at lag 0 — the rules dispatch to the plain code path and
+degenerate bitwise to the sync behavior.
+
 Computation-cost note: ``median``/``trimmed_mean`` sort ``O(n·d log n)``,
 ``krum`` computes all pairwise distances ``O(n²·d)`` — see
 ``benchmarks/bench_robust_agg.py`` for measured costs.
@@ -92,6 +106,60 @@ def _normalized_weights(
     return weights_arr / weights_arr.sum()
 
 
+def _staleness_array(
+    staleness: Optional[Sequence[float]], count: int
+) -> Optional[np.ndarray]:
+    """Validate staleness weights; ``None`` means "all fresh, plain rule".
+
+    Returns ``None`` both for absent weights and for the all-ones case so
+    callers dispatch to the unweighted code path — the bitwise lag-0
+    degeneration guarantee.
+    """
+    if staleness is None:
+        return None
+    arr = np.asarray(staleness, dtype=np.float64)
+    if len(arr) != count:
+        raise ValueError("one staleness weight per state dict required")
+    if (arr <= 0).any() or (arr > 1.0 + 1e-12).any():
+        raise ValueError("staleness weights must be in (0, 1]")
+    if np.all(arr == 1.0):
+        return None
+    return arr
+
+
+def _sorted_with_weights(
+    stacked: np.ndarray, weights: np.ndarray
+) -> tuple:
+    """Sort a ``(n, ...)`` stack along axis 0, carrying per-row weights."""
+    order = np.argsort(stacked, axis=0, kind="stable")
+    sorted_vals = np.take_along_axis(stacked, order, axis=0)
+    broadcast = np.broadcast_to(
+        weights.reshape((-1,) + (1,) * (stacked.ndim - 1)), stacked.shape
+    )
+    sorted_weights = np.take_along_axis(np.ascontiguousarray(broadcast), order, axis=0)
+    return sorted_vals, sorted_weights
+
+
+def _weighted_median(stacked: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Coordinate-wise weighted median of a ``(n, ...)`` stack.
+
+    Per coordinate: sort the values, accumulate the (staleness) weights,
+    and pick the first value where the cumulative mass reaches half the
+    total; an exact half-mass tie averages with the next value, matching
+    ``np.median``'s even-``n`` convention under uniform weights.
+    """
+    sorted_vals, sorted_weights = _sorted_with_weights(stacked, weights)
+    cum = np.cumsum(sorted_weights, axis=0)
+    half = 0.5 * cum[-1]
+    index = (cum >= half).argmax(axis=0)
+    lower = np.take_along_axis(sorted_vals, index[None], axis=0)[0]
+    mass_at = np.take_along_axis(cum, index[None], axis=0)[0]
+    tie = np.isclose(mass_at, half, rtol=1e-12, atol=0.0)
+    upper_index = np.minimum(index + 1, stacked.shape[0] - 1)
+    upper = np.take_along_axis(sorted_vals, upper_index[None], axis=0)[0]
+    return np.where(tie, 0.5 * (lower + upper), lower)
+
+
 def _cast_back(value: np.ndarray, like: np.ndarray) -> np.ndarray:
     """Return ``value`` in ``like``'s dtype when it is floating.
 
@@ -128,6 +196,7 @@ def coordinate_median(
     weights: Optional[Sequence[float]] = None,
     *,
     reference: Optional[StateDict] = None,
+    staleness: Optional[Sequence[float]] = None,
 ) -> StateDict:
     """Coordinate-wise median of the client states.
 
@@ -135,14 +204,25 @@ def coordinate_median(
     coordinate.  ``weights`` and ``reference`` are ignored (accepted for
     signature uniformity): a robust rule must not honor attacker-controlled
     sample counts.  For two states the median equals the unweighted mean.
+
+    ``staleness`` (server-derived ``s(lag)`` weights, see the module
+    docstring) switches to the *weighted* median: stale updates carry less
+    voting mass per coordinate.  ``None`` or all-ones is the plain
+    ``np.median``, bitwise.
     """
     _check_compatible(states)
+    staleness_arr = _staleness_array(staleness, len(states))
     merged: StateDict = {}
     for key in states[0]:
         stacked = np.stack(
             [state[key].astype(np.float64, copy=False) for state in states]
         )
-        merged[key] = _cast_back(np.median(stacked, axis=0), states[0][key])
+        if staleness_arr is None:
+            merged[key] = _cast_back(np.median(stacked, axis=0), states[0][key])
+        else:
+            merged[key] = _cast_back(
+                _weighted_median(stacked, staleness_arr), states[0][key]
+            )
     return merged
 
 
@@ -152,6 +232,7 @@ def trimmed_mean(
     *,
     trim_fraction: float = 0.1,
     reference: Optional[StateDict] = None,
+    staleness: Optional[Sequence[float]] = None,
 ) -> StateDict:
     """Coordinate-wise mean after trimming the extremes.
 
@@ -159,6 +240,11 @@ def trimmed_mean(
     values are dropped and the rest averaged (unweighted; see
     :func:`coordinate_median` for why).  ``trim_fraction=0`` degenerates to
     the plain mean.
+
+    With ``staleness`` the surviving values are averaged weighted by their
+    update's ``s(lag)`` — trimming is unchanged (positional, per
+    coordinate), but stale survivors pull the mean less.  ``None`` or
+    all-ones is the plain trimmed mean, bitwise.
     """
     _check_compatible(states)
     if not 0.0 <= trim_fraction < 0.5:
@@ -170,13 +256,23 @@ def trimmed_mean(
             f"trim_fraction={trim_fraction:g} trims all {n} updates; "
             "need at least one survivor per coordinate"
         )
+    staleness_arr = _staleness_array(staleness, n)
     merged: StateDict = {}
     for key in states[0]:
         stacked = np.stack(
             [state[key].astype(np.float64, copy=False) for state in states]
         )
-        trimmed = np.sort(stacked, axis=0)[k : n - k] if k else stacked
-        merged[key] = _cast_back(trimmed.mean(axis=0), states[0][key])
+        if staleness_arr is None:
+            trimmed = np.sort(stacked, axis=0)[k : n - k] if k else stacked
+            merged[key] = _cast_back(trimmed.mean(axis=0), states[0][key])
+            continue
+        sorted_vals, sorted_weights = _sorted_with_weights(stacked, staleness_arr)
+        surviving_vals = sorted_vals[k : n - k] if k else sorted_vals
+        surviving_weights = sorted_weights[k : n - k] if k else sorted_weights
+        weighted = (surviving_vals * surviving_weights).sum(axis=0)
+        merged[key] = _cast_back(
+            weighted / surviving_weights.sum(axis=0), states[0][key]
+        )
     return merged
 
 
@@ -255,15 +351,25 @@ def krum(
     *,
     num_byzantine: Optional[int] = None,
     reference: Optional[StateDict] = None,
+    staleness: Optional[Sequence[float]] = None,
 ) -> StateDict:
     """Krum (Blanchard et al.): adopt the single most central update.
 
     ``num_byzantine`` is the assumed Byzantine count ``f``; ``None`` uses
     the maximal tolerable ``f = (n - 3) // 2``.  ``weights``/``reference``
     are ignored.
+
+    With ``staleness`` each update's score is penalized by ``1 / s²``
+    (squared, because Krum scores are sums of *squared* distances), so a
+    decayed-toward-global stale update cannot win on artificial centrality
+    over a fresh honest one.  ``None``/all-ones selects exactly as plain
+    Krum.
     """
     _check_compatible(states)
     scores = _krum_scores(states, num_byzantine)
+    staleness_arr = _staleness_array(staleness, len(states))
+    if staleness_arr is not None:
+        scores = scores / np.square(staleness_arr)
     winner = int(np.argmin(scores))
     return {key: value.copy() for key, value in states[winner].items()}
 
@@ -275,21 +381,34 @@ def multi_krum(
     num_byzantine: Optional[int] = None,
     num_selected: Optional[int] = None,
     reference: Optional[StateDict] = None,
+    staleness: Optional[Sequence[float]] = None,
 ) -> StateDict:
     """Multi-Krum: average the ``m`` best-scored updates.
 
     ``num_selected=None`` uses ``m = max(1, n - f - 2)``, the selection-set
     bound of the Krum paper.  Selected updates are averaged *unweighted*.
+
+    With ``staleness`` the selection scores carry the same ``1 / s²``
+    penalty as :func:`krum` and the selected updates are averaged weighted
+    by ``s`` — a fresh selection counts more than a stale one.
+    ``None``/all-ones is plain Multi-Krum, bitwise.
     """
     _check_compatible(states)
     scores = _krum_scores(states, num_byzantine)
     n = len(states)
+    staleness_arr = _staleness_array(staleness, n)
+    if staleness_arr is not None:
+        scores = scores / np.square(staleness_arr)
     f = (max(0, (n - 3) // 2)) if num_byzantine is None else int(num_byzantine)
     m = max(1, n - f - 2) if num_selected is None else int(num_selected)
     if not 1 <= m <= n:
         raise ValueError(f"num_selected must be in [1, {n}]")
     selected = np.argsort(scores, kind="stable")[:m]
-    return fedavg([states[i] for i in selected])
+    if staleness_arr is None:
+        return fedavg([states[i] for i in selected])
+    return fedavg(
+        [states[i] for i in selected], weights=[staleness_arr[i] for i in selected]
+    )
 
 
 def make_aggregator(
@@ -301,29 +420,42 @@ def make_aggregator(
 ) -> Aggregator:
     """Bind an aggregator name and its options into a uniform callable.
 
-    The result accepts ``(states, weights=None, reference=None)`` — the
-    server's calling convention — with the rule-specific options closed
-    over.  Unknown names raise ``ValueError`` (valid names: ``AGGREGATORS``).
+    The result accepts ``(states, weights=None, reference=None,
+    staleness=None)`` — the server's calling convention — with the
+    rule-specific options closed over.  The selection rules pass
+    ``staleness`` through; ``fedavg`` and ``norm_clip`` ignore it, because
+    the async engine already lag-discounts the *effective states* they
+    average (weighting again would double-discount).  Unknown names raise
+    ``ValueError`` (valid names: ``AGGREGATORS``).
     """
     if name == "fedavg":
-        return lambda states, weights=None, reference=None: fedavg(states, weights)
+        return lambda states, weights=None, reference=None, staleness=None: fedavg(
+            states, weights
+        )
     if name == "median":
-        return lambda states, weights=None, reference=None: coordinate_median(states)
+        return (
+            lambda states, weights=None, reference=None, staleness=None:
+            coordinate_median(states, staleness=staleness)
+        )
     if name == "trimmed_mean":
-        return lambda states, weights=None, reference=None: trimmed_mean(
-            states, trim_fraction=trim_fraction
+        return (
+            lambda states, weights=None, reference=None, staleness=None:
+            trimmed_mean(states, trim_fraction=trim_fraction, staleness=staleness)
         )
     if name == "norm_clip":
-        return lambda states, weights=None, reference=None: norm_clipped_fedavg(
-            states, weights, reference=reference, clip_norm=clip_norm
+        return (
+            lambda states, weights=None, reference=None, staleness=None:
+            norm_clipped_fedavg(
+                states, weights, reference=reference, clip_norm=clip_norm
+            )
         )
     if name == "krum":
-        return lambda states, weights=None, reference=None: krum(
-            states, num_byzantine=num_byzantine
+        return lambda states, weights=None, reference=None, staleness=None: krum(
+            states, num_byzantine=num_byzantine, staleness=staleness
         )
     if name == "multi_krum":
-        return lambda states, weights=None, reference=None: multi_krum(
-            states, num_byzantine=num_byzantine
+        return lambda states, weights=None, reference=None, staleness=None: multi_krum(
+            states, num_byzantine=num_byzantine, staleness=staleness
         )
     raise ValueError(f"unknown aggregator {name!r}; expected one of {AGGREGATORS}")
 

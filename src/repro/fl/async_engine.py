@@ -84,6 +84,7 @@ from repro.fl.executor import (
     RoundExecution,
     RoundExecutionError,
     RoundExecutor,
+    WireDeliveryError,
 )
 from repro.fl.faults import ClientFailure, FaultInjector, RetryBackoff
 from repro.fl.malicious import ByzantineInjector
@@ -248,9 +249,14 @@ class AsyncExecutor(RoundExecutor):
         while len(buffer) < self.buffer_size:
             while queue and len(self._heap) < cap:
                 client = queue.pop(0)
-                bytes_broadcast += self._dispatch(
-                    client, server, version, current_global, failures
+                sent, spilled_wire, spilled_dense = self._dispatch(
+                    client, server, version, current_global, failures, rejected
                 )
+                bytes_broadcast += sent
+                # Traffic a wire-quarantined delivery still cost (every
+                # corrupted retransmission), even though nothing arrived.
+                bytes_aggregated += spilled_wire
+                bytes_aggregated_dense += spilled_dense
             if not self._heap:
                 # Stream ran dry before the buffer filled (crashes, or
                 # buffer_size beyond the reachable arrivals this step):
@@ -285,10 +291,12 @@ class AsyncExecutor(RoundExecutor):
 
         results: List[ClientExecution] = []
         lags: List[int] = []
+        weights: Dict[int, float] = {}
         for entry, lag in buffer:
             weight = staleness_weight(
                 lag, self.staleness_policy, self.staleness_alpha, self.staleness_hinge
             )
+            weights[entry.client_id] = float(weight)
             if lag == 0 and weight == 1.0:
                 # Bitwise fast path: origin == current global, no decay —
                 # the effective state IS the client's state (rebuilding it
@@ -319,7 +327,7 @@ class AsyncExecutor(RoundExecutor):
                 f"{len(stale)} stale, {len(rejected)} quarantined, "
                 f"{len(failures)} failed{': ' + detail if detail else ''}"
             )
-        self._check_participation(attempted, len(buffer), failures)
+        self._check_participation(attempted, len(buffer), failures, rejected)
         return self._finalize_execution(RoundExecution(
             results=results,
             bytes_broadcast=bytes_broadcast,
@@ -332,6 +340,7 @@ class AsyncExecutor(RoundExecutor):
             anomaly_scores=scores,
             stale=stale,
             staleness_lags=lags,
+            staleness_weights=weights,
             expected_participants=attempted,
         ))
 
@@ -343,10 +352,14 @@ class AsyncExecutor(RoundExecutor):
         version: int,
         current_global: StateDict,
         failures: List[ClientFailure],
-    ) -> int:
+        rejected: Dict[int, str],
+    ) -> Tuple[int, int, int]:
         """Run one client task now; schedule its (virtual) arrival.
 
-        Returns the broadcast bytes the task consumed.  Faults resolve
+        Returns ``(broadcast_bytes, failed_wire_bytes, failed_dense_bytes)``
+        — the latter two are zero unless the task's delivery was
+        wire-quarantined, in which case they bill the corrupted
+        transmissions that never produced an arrival.  Faults resolve
         entirely in virtual time: failed attempts accumulate backoff
         latency, terminal failures record a :class:`ClientFailure` and
         return the client to the idle pool for the next step.
@@ -361,14 +374,14 @@ class AsyncExecutor(RoundExecutor):
         tolerant = self._tolerant
         snapshot = client.get_mutable_state().clone() if tolerant else None
 
-        def _fail(kind: str, message: str) -> int:
+        def _fail(kind: str, message: str) -> Tuple[int, int, int]:
             failures.append(
                 ClientFailure(
                     client_id=cid, kind=kind, attempts=attempt + 1, message=message
                 )
             )
             self._free_at[cid] = start + latency + self.client_latency
-            return bytes_sent
+            return bytes_sent, 0, 0
 
         while True:
             decision = self._decide(task_index, cid, attempt)
@@ -438,9 +451,18 @@ class AsyncExecutor(RoundExecutor):
                 if self.codec is not None and self.codec.needs_reference
                 else None
             )
-            update, wire_nbytes, _ = self._encode_collected(
-                task_index, update, wire_reference, client
-            )
+            try:
+                update, wire_nbytes, _ = self._encode_collected(
+                    task_index, update, wire_reference, client
+                )
+            except WireDeliveryError as exc:
+                # Delivery never decoded: quarantine the task.  The client
+                # trained (its state advanced, as on a real device) and is
+                # free again after its would-be arrival time.
+                rejected[cid] = "wire_corrupt"
+                _log.warning("client %d quarantined: %s", cid, exc)
+                self._free_at[cid] = start + latency + self.client_latency + delay
+                return bytes_sent, exc.wire_bytes, exc.dense_bytes
             arrival = start + latency + self.client_latency + delay
             entry = _InFlight(
                 client_id=cid,
@@ -457,7 +479,7 @@ class AsyncExecutor(RoundExecutor):
             heapq.heappush(self._heap, (arrival, self._seq, entry))
             self._seq += 1
             self._free_at[cid] = arrival
-            return bytes_sent
+            return bytes_sent, 0, 0
 
     # -- checkpoint/resume ----------------------------------------------
     def export_state(self) -> Dict[str, object]:

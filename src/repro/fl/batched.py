@@ -464,7 +464,11 @@ class BatchedExecutor(SequentialExecutor):
     def execute(self, participants: Sequence[FLClient], server) -> RoundExecution:
         if self._tolerant:
             # Retries/faults need per-(round, client, attempt) interleaving
-            # identical to the sequential engine; run it verbatim.
+            # identical to the sequential engine; run it verbatim.  This
+            # also covers the wire-fault channel: any configured
+            # FaultInjector (including a wire-only one) makes the round
+            # tolerant, so chaos rounds always take the sequential path and
+            # its retransmit/quarantine handling.
             return super().execute(participants, server)
         round_index = server.round
         reference = self._byzantine_reference(server)
@@ -473,6 +477,7 @@ class BatchedExecutor(SequentialExecutor):
         results_by_id: Dict[int, ClientExecution] = {}
         failures: List[ClientFailure] = []
         retries: Dict[int, int] = {}
+        rejected: Dict[int, str] = {}
         bytes_broadcast = 0
         bytes_aggregated = 0
         bytes_aggregated_dense = 0
@@ -486,7 +491,7 @@ class BatchedExecutor(SequentialExecutor):
                 collected: List[ClientExecution] = []
                 sent, received, received_dense = self._run_client(
                     client, server, round_index, False, reference, wire_reference,
-                    collected, failures, retries,
+                    collected, failures, retries, rejected,
                 )
                 bytes_broadcast += sent
                 bytes_aggregated += received
@@ -519,7 +524,9 @@ class BatchedExecutor(SequentialExecutor):
                     update=update, compute_seconds=per_client_seconds
                 )
                 executed.add(member.client_id)
-        self._check_participation(len(participants), len(results_by_id), failures)
+        self._check_participation(
+            len(participants), len(results_by_id), failures, rejected
+        )
         results = [
             results_by_id[client.client_id]
             for client in participants
@@ -533,6 +540,7 @@ class BatchedExecutor(SequentialExecutor):
             failures=failures,
             retries=retries,
             op_stats=self._profile_end(profile_token),
+            rejected=rejected,
         ))
 
     def close(self) -> None:

@@ -22,10 +22,20 @@ counters.
 Files are written atomically (temp file + ``os.replace``) so a crash during
 checkpointing never corrupts the latest good checkpoint, and old
 checkpoints are pruned down to ``CheckpointConfig.keep``.
+
+Atomic writes do not protect against *post-write* damage — bit rot, torn
+copies, or the chaos harness's checkpoint-corruption channel.  Each file
+therefore carries an integrity header: the ``RCK1`` magic followed by the
+sha256 digest of the pickled body.  :func:`load_checkpoint` recomputes the
+digest and raises :class:`CheckpointCorruptionError` on any mismatch, and
+:func:`restore_latest_good` walks the retained chain newest-first until a
+checkpoint verifies — the *last-good* recovery path.  Headerless files from
+earlier builds still load (best-effort, no digest to check).
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import re
@@ -41,7 +51,18 @@ _log = get_logger("fl.checkpoint")
 #: Bump when the payload layout changes; loaders refuse unknown versions.
 CHECKPOINT_VERSION = 1
 
+#: Container magic for digest-protected checkpoint files: ``RCK1`` + the
+#: 32-byte sha256 of the pickled body, then the body itself.
+CHECKPOINT_MAGIC = b"RCK1"
+
+_DIGEST_SIZE = hashlib.sha256().digest_size
+
 _CHECKPOINT_RE = re.compile(r"^round_(\d+)\.ckpt$")
+
+
+class CheckpointCorruptionError(ValueError):
+    """A checkpoint file failed integrity verification (digest mismatch,
+    truncation, garbled header, or an unpicklable legacy body)."""
 
 
 def checkpoint_path(directory: str, round_index: int) -> str:
@@ -108,8 +129,11 @@ def save_checkpoint(simulation, directory: str, keep: int = 0) -> str:
     }
     path = checkpoint_path(directory, round_index)
     tmp_path = path + ".tmp"
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     with open(tmp_path, "wb") as handle:
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.write(CHECKPOINT_MAGIC)
+        handle.write(hashlib.sha256(body).digest())
+        handle.write(body)
     os.replace(tmp_path, path)
     _log.info("checkpointed round %d to %s", round_index, path)
     if keep > 0:
@@ -121,10 +145,64 @@ def save_checkpoint(simulation, directory: str, keep: int = 0) -> str:
     return path
 
 
-def load_checkpoint(path: str) -> Dict[str, object]:
-    """Read and validate a checkpoint file."""
+def _read_verified_body(path: str) -> bytes:
+    """Read ``path`` and return its pickled body after integrity checks.
+
+    Raises :class:`CheckpointCorruptionError` when the file is damaged.
+    Headerless legacy files are returned whole (their pickle layer is the
+    only corruption detector we have for them).
+    """
     with open(path, "rb") as handle:
-        payload = pickle.load(handle)
+        raw = handle.read()
+    if raw.startswith(CHECKPOINT_MAGIC):
+        header_size = len(CHECKPOINT_MAGIC) + _DIGEST_SIZE
+        if len(raw) < header_size:
+            raise CheckpointCorruptionError(
+                f"checkpoint {path} is truncated inside its integrity header"
+            )
+        stored = raw[len(CHECKPOINT_MAGIC) : header_size]
+        body = raw[header_size:]
+        if hashlib.sha256(body).digest() != stored:
+            raise CheckpointCorruptionError(
+                f"checkpoint {path} failed sha256 verification; the file was "
+                "corrupted after it was written"
+            )
+        return body
+    # No magic: either a legacy headerless checkpoint or a file whose
+    # header bytes were garbled.  The pickle layer below decides.
+    return raw
+
+
+def verify_checkpoint(path: str) -> bool:
+    """True when ``path`` passes integrity verification (without loading
+    its payload into any simulation)."""
+    try:
+        body = _read_verified_body(path)
+        payload = pickle.loads(body)
+    except Exception:
+        return False
+    return isinstance(payload, dict) and "round" in payload
+
+
+def load_checkpoint(path: str) -> Dict[str, object]:
+    """Read, integrity-verify, and version-check a checkpoint file.
+
+    Raises :class:`CheckpointCorruptionError` when the file's digest does
+    not match its body (or a headerless file fails to unpickle), and plain
+    :class:`ValueError` for a well-formed file this build cannot read.
+    """
+    body = _read_verified_body(path)
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:
+        raise CheckpointCorruptionError(
+            f"checkpoint {path} failed to deserialize: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise CheckpointCorruptionError(
+            f"checkpoint {path} deserialized to {type(payload).__name__}, "
+            "not a payload dict"
+        )
     version = payload.get("version")
     if version != CHECKPOINT_VERSION:
         raise ValueError(
@@ -212,3 +290,31 @@ def restore_simulation(simulation, path: str) -> int:
     simulation.history = payload["history"]
     _log.info("restored round %d from %s", round_index, path)
     return round_index
+
+
+def restore_latest_good(simulation, directory: str) -> Optional[int]:
+    """Restore from the newest checkpoint in ``directory`` that verifies.
+
+    The last-good chain: checkpoints are tried newest-first, and any that
+    fail integrity verification (:class:`CheckpointCorruptionError`) are
+    skipped with a warning — a corrupted latest checkpoint costs at most
+    ``every`` rounds of recomputation instead of the whole run.  Returns
+    the restored round count, or ``None`` when no checkpoint on disk
+    verifies (the caller starts from scratch).  Configuration mismatches
+    (wrong backend, codec, population, ...) are *not* corruption and still
+    raise immediately.
+    """
+    skipped: List[str] = []
+    for path in reversed(list_checkpoints(directory)):
+        try:
+            return restore_simulation(simulation, path)
+        except CheckpointCorruptionError as exc:
+            _log.warning("skipping corrupted checkpoint %s: %s", path, exc)
+            skipped.append(path)
+    if skipped:
+        _log.warning(
+            "no verifying checkpoint in %s (%d corrupted); starting from scratch",
+            directory,
+            len(skipped),
+        )
+    return None

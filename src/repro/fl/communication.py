@@ -622,37 +622,47 @@ def decode_update(
     validated (magic, version, codec id, per-leaf bounds) and reconstructed
     against ``reference`` — the broadcast state the update was encoded
     against.  Raises :class:`WireFormatError` on truncation or mismatch.
+
+    This is an untrusted-payload boundary: *any* parse failure — including
+    a corrupted npz archive or a zlib error deep inside a leaf — surfaces
+    as :class:`WireFormatError`, so callers have a single recoverable
+    exception type to retry/quarantine on.
     """
-    if payload[: len(_NPZ_MAGIC)] == _NPZ_MAGIC:
-        return unpack_state_dict(payload)
-    reader = _Reader(payload)
-    magic, version, codec_id, reserved, leaf_count = reader.unpack(_HEADER)
-    if magic != WIRE_MAGIC:
-        raise WireFormatError(
-            f"unrecognized wire payload: leading bytes {payload[:4]!r} are "
-            f"neither npz nor {WIRE_MAGIC!r}"
-        )
-    if version != WIRE_FORMAT_VERSION:
-        raise WireFormatError(
-            f"wire payload has format version {version}; this build reads "
-            f"version {WIRE_FORMAT_VERSION}"
-        )
-    if codec_id >= len(WIRE_CODECS):
-        raise WireFormatError(f"wire payload names unknown codec id {codec_id}")
-    if reserved != 0:
-        raise WireFormatError("wire payload has nonzero reserved header bits")
-    state: StateDict = {}
-    for _ in range(leaf_count):
-        name, value = _decode_leaf(reader, reference)
-        if name in state:
-            raise WireFormatError(f"wire payload repeats leaf {name!r}")
-        state[name] = value
-    if not reader.done():
-        raise WireFormatError(
-            f"wire payload has {len(payload) - reader.offset} trailing bytes "
-            f"after {leaf_count} leaves"
-        )
-    return state
+    try:
+        if payload[: len(_NPZ_MAGIC)] == _NPZ_MAGIC:
+            return unpack_state_dict(payload)
+        reader = _Reader(payload)
+        magic, version, codec_id, reserved, leaf_count = reader.unpack(_HEADER)
+        if magic != WIRE_MAGIC:
+            raise WireFormatError(
+                f"unrecognized wire payload: leading bytes {payload[:4]!r} are "
+                f"neither npz nor {WIRE_MAGIC!r}"
+            )
+        if version != WIRE_FORMAT_VERSION:
+            raise WireFormatError(
+                f"wire payload has format version {version}; this build reads "
+                f"version {WIRE_FORMAT_VERSION}"
+            )
+        if codec_id >= len(WIRE_CODECS):
+            raise WireFormatError(f"wire payload names unknown codec id {codec_id}")
+        if reserved != 0:
+            raise WireFormatError("wire payload has nonzero reserved header bits")
+        state: StateDict = {}
+        for _ in range(leaf_count):
+            name, value = _decode_leaf(reader, reference)
+            if name in state:
+                raise WireFormatError(f"wire payload repeats leaf {name!r}")
+            state[name] = value
+        if not reader.done():
+            raise WireFormatError(
+                f"wire payload has {len(payload) - reader.offset} trailing bytes "
+                f"after {leaf_count} leaves"
+            )
+        return state
+    except WireFormatError:
+        raise
+    except Exception as exc:  # zipfile/zlib/pickle/numpy parse failures
+        raise WireFormatError(f"malformed wire payload: {exc}") from exc
 
 
 def codec_name(codec: Optional[Codec]) -> str:

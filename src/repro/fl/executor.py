@@ -63,6 +63,7 @@ from repro.fl.client import ClientMutableState, ClientUpdate, FLClient
 from repro.fl.communication import (
     Codec,
     CommunicationLedger,
+    WireFormatError,
     decode_update,
     make_codec,
 )
@@ -102,6 +103,31 @@ class RoundExecutionError(RuntimeError):
     worker pool died beyond the respawn budget."""
 
 
+class WireDeliveryError(RuntimeError):
+    """One client's update payload failed to decode on every transmission.
+
+    Raised by :meth:`RoundExecutor._encode_collected` after the retransmission
+    budget (``max_retries + 1`` transmissions) is exhausted.  The executors
+    catch it and quarantine the client into ``RoundExecution.rejected`` —
+    a per-client recoverable event, never run-fatal.  Carries the traffic
+    the failed delivery still cost so byte telemetry stays faithful.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        attempts: int,
+        message: str,
+        wire_bytes: int = 0,
+        dense_bytes: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.client_id = client_id
+        self.attempts = attempts
+        self.wire_bytes = wire_bytes
+        self.dense_bytes = dense_bytes
+
+
 @dataclass
 class ClientExecution:
     """One client's result within a round, with its compute time."""
@@ -137,10 +163,13 @@ class RoundExecution:
     failures: List[ClientFailure] = field(default_factory=list)
     retries: Dict[int, int] = field(default_factory=dict)
     op_stats: Dict[str, "OpStat"] = field(default_factory=dict)
-    #: Clients quarantined by *executor-side* admission screening (the async
-    #: engine's streaming screener), mapped to the rejection reason.  The
-    #: synchronous engines leave this empty — their screening happens
-    #: server-side at aggregation time.
+    #: Clients quarantined by the *executor* before aggregation, mapped to
+    #: the rejection reason: admission screening (the async engine's
+    #: streaming screener) and undecodable wire payloads
+    #: (``"wire_corrupt"``, any backend) land here.  A quarantined client is
+    #: counted exactly once — never duplicated into ``failures`` — and
+    #: counts against the ``min_participation`` quorum like a screening
+    #: quarantine.
     rejected: Dict[int, str] = field(default_factory=dict)
     #: Anomaly score of every arrival the executor screened (async engine).
     anomaly_scores: Dict[int, float] = field(default_factory=dict)
@@ -150,6 +179,12 @@ class RoundExecution:
     #: Version lags of the *admitted* updates, in buffer order (async
     #: engine); empty on synchronous engines, where every lag is zero.
     staleness_lags: List[int] = field(default_factory=list)
+    #: Staleness weight ``s(lag)`` of every admitted update, keyed by client
+    #: id (async engine; empty on synchronous engines, where every weight is
+    #: 1).  The server hands these to staleness-aware robust aggregators so
+    #: selection rules (median/trimmed-mean/Krum) can discount stale
+    #: contributions instead of treating them as fresh.
+    staleness_weights: Dict[int, float] = field(default_factory=dict)
     #: Quorum base the simulation should hand to ``server.aggregate``.
     #: ``None`` (synchronous engines) means the round's participant count;
     #: the async engine reports its aggregation step's attempted-delivery
@@ -210,6 +245,7 @@ class RoundExecutor(ABC):
         update: ClientUpdate,
         wire_reference: Optional[StateDict],
         client: Optional[FLClient],
+        raw_payload: Optional[bytes] = None,
     ) -> Tuple[ClientUpdate, int, int]:
         """Run one collected update through the configured wire codec.
 
@@ -217,25 +253,87 @@ class RoundExecutor(ABC):
         round, on every backend.  Returns ``(update, wire_bytes,
         dense_bytes)``: the update carrying the *decoded* state — so
         screening, robust aggregation, and the global model see exactly what
-        crossed the wire — plus the compressed payload size and the dense
-        baseline.  For lossy codecs with error feedback the client's
-        residual is consumed and replaced here.
+        crossed the wire — plus the (cumulative) wire payload size and the
+        dense baseline.  For lossy codecs with error feedback the client's
+        residual is consumed and replaced here — committed only once a
+        transmission decodes, so retransmissions re-encode identically.
+
+        This is also where the injector's *wire fault channel* fires: each
+        transmission draws its corruption fate from
+        ``(seed, "wire", round, client, transmission)`` — a counter of its
+        own, independent of training-fault attempts, so the corruption
+        schedule is identical on every backend.  A corrupted transmission
+        raises :class:`~repro.fl.communication.WireFormatError` inside
+        ``decode_update`` and is retransmitted (no backoff sleep: the client
+        re-sends the same encoded bytes, it does not re-train) up to
+        ``max_retries`` times; exhaustion raises :class:`WireDeliveryError`
+        for the caller to quarantine.  ``wire_bytes`` sums every
+        transmission, matching real wire traffic.
+
+        ``raw_payload`` lets the process backend reuse the payload its
+        worker already packed (identical bytes to packing ``update.state``
+        here) instead of re-packing; pass ``None`` whenever ``update.state``
+        no longer matches the packed bytes (e.g. after Byzantine corruption).
         """
         dense_bytes = state_dict_nbytes(update.state)
+        injector = self.fault_injector
+        wire_active = injector is not None and injector.wire_enabled
+        cid = update.client_id
         if self.codec is None:
-            return update, dense_bytes, dense_bytes
-        residual = getattr(client, "_wire_residual", None)
-        payload, next_residual = self.codec.encode_update(
-            round_index,
-            update.client_id,
-            update.state,
-            reference=wire_reference,
-            residual=residual,
-        )
-        if client is not None:
-            client._wire_residual = next_residual
-        decoded = decode_update(payload, reference=wire_reference)
-        return replace(update, state=decoded), len(payload), dense_bytes
+            if not wire_active or injector.wire_fault(round_index, cid, 0) == "none":
+                # Dense fast path: the (first) transmission arrives intact,
+                # so skip the pack/decode round trip — bitwise identical to
+                # the wire-faults-off path.
+                wire_bytes = len(raw_payload) if raw_payload is not None else dense_bytes
+                return update, wire_bytes, dense_bytes
+            payload = (
+                raw_payload
+                if raw_payload is not None
+                else pack_state_dict(update.state, getattr(self, "wire_dtype", None))
+            )
+            next_residual = None
+            commit_residual = False
+        else:
+            residual = getattr(client, "_wire_residual", None)
+            payload, next_residual = self.codec.encode_update(
+                round_index,
+                update.client_id,
+                update.state,
+                reference=wire_reference,
+                residual=residual,
+            )
+            commit_residual = client is not None
+        wire_bytes = 0
+        attempt = 0
+        while True:
+            if wire_active:
+                sent, kind = injector.corrupt_wire(payload, round_index, cid, attempt)
+            else:
+                sent, kind = payload, "none"
+            wire_bytes += len(sent)
+            try:
+                decoded = decode_update(sent, reference=wire_reference)
+            except WireFormatError as exc:
+                if attempt < self.max_retries:
+                    _log.info(
+                        "client %d transmission %d corrupted (%s); retransmitting",
+                        cid,
+                        attempt + 1,
+                        kind,
+                    )
+                    attempt += 1
+                    continue
+                raise WireDeliveryError(
+                    cid,
+                    attempt + 1,
+                    f"update payload of client {cid} failed to decode on "
+                    f"{attempt + 1} transmission(s) (last fault: {kind}): {exc}",
+                    wire_bytes=wire_bytes,
+                    dense_bytes=dense_bytes,
+                ) from exc
+            if commit_residual:
+                client._wire_residual = next_residual
+            return replace(update, state=decoded), wire_bytes, dense_bytes
 
     def _finalize_execution(self, execution: RoundExecution) -> RoundExecution:
         """Record the round's measured traffic in the ledger and return it."""
@@ -338,21 +436,35 @@ class RoundExecutor(ABC):
         return max(1, math.ceil(self.min_participation * participants))
 
     def _check_participation(
-        self, participants: int, survived: int, failures: Sequence[ClientFailure]
+        self,
+        participants: int,
+        survived: int,
+        failures: Sequence[ClientFailure],
+        rejected: Optional[Dict[int, str]] = None,
     ) -> None:
         required = self._required_survivors(participants)
         if survived >= required:
-            if failures:
+            if failures or rejected:
                 _log.warning(
                     "round degraded: %d/%d clients dropped (%s)",
-                    len(failures),
+                    len(failures) + len(rejected or {}),
                     participants,
-                    ", ".join(f"client {f.client_id}: {f.kind}" for f in failures),
+                    ", ".join(
+                        [f"client {f.client_id}: {f.kind}" for f in failures]
+                        + [f"client {cid}: {why}" for cid, why in (rejected or {}).items()]
+                    ),
                 )
             return
         detail = "; ".join(
-            f"client {f.client_id}: {f.kind} after {f.attempts} attempt(s): {f.message}"
-            for f in failures
+            [
+                f"client {f.client_id}: {f.kind} after {f.attempts} attempt(s): "
+                f"{f.message}"
+                for f in failures
+            ]
+            + [
+                f"client {cid}: quarantined ({why})"
+                for cid, why in (rejected or {}).items()
+            ]
         )
         raise RoundExecutionError(
             f"only {survived}/{participants} clients survived the round but "
@@ -439,18 +551,19 @@ class SequentialExecutor(RoundExecutor):
         results: List[ClientExecution] = []
         failures: List[ClientFailure] = []
         retries: Dict[int, int] = {}
+        rejected: Dict[int, str] = {}
         bytes_broadcast = 0
         bytes_aggregated = 0
         bytes_aggregated_dense = 0
         for client in participants:
             sent, received, received_dense = self._run_client(
                 client, server, round_index, tolerant, reference, wire_reference,
-                results, failures, retries,
+                results, failures, retries, rejected,
             )
             bytes_broadcast += sent
             bytes_aggregated += received
             bytes_aggregated_dense += received_dense
-        self._check_participation(len(participants), len(results), failures)
+        self._check_participation(len(participants), len(results), failures, rejected)
         return self._finalize_execution(RoundExecution(
             results=results,
             bytes_broadcast=bytes_broadcast,
@@ -459,6 +572,7 @@ class SequentialExecutor(RoundExecutor):
             failures=failures,
             retries=retries,
             op_stats=self._profile_end(profile_token),
+            rejected=rejected,
         ))
 
     def _run_client(
@@ -472,15 +586,19 @@ class SequentialExecutor(RoundExecutor):
         results: List[ClientExecution],
         failures: List[ClientFailure],
         retries: Dict[int, int],
+        rejected: Optional[Dict[int, str]] = None,
     ) -> Tuple[int, int, int]:
         """One client's broadcast/train/collect cycle with the full retry policy.
 
-        Appends to ``results``/``failures``/``retries`` in place and returns
-        the ``(bytes_broadcast, bytes_aggregated, bytes_aggregated_dense)``
-        the client contributed (every attempt's broadcast counts, matching
-        real wire traffic; uploads are post-codec).  Shared with
-        :class:`~repro.fl.batched.BatchedExecutor`, which routes unbatchable
-        clients through this exact path.
+        Appends to ``results``/``failures``/``retries``/``rejected`` in
+        place and returns the ``(bytes_broadcast, bytes_aggregated,
+        bytes_aggregated_dense)`` the client contributed (every attempt's
+        broadcast counts, matching real wire traffic; uploads are post-codec
+        and include failed retransmissions).  A client whose payload never
+        decodes is *quarantined* into ``rejected`` — counted once, exactly
+        like a screening quarantine, never duplicated into ``failures``.
+        Shared with :class:`~repro.fl.batched.BatchedExecutor`, which routes
+        unbatchable clients through this exact path.
         """
         bytes_broadcast = 0
         bytes_aggregated = 0
@@ -522,9 +640,21 @@ class SequentialExecutor(RoundExecutor):
                 failure_kind, retriable, error = "error", True, repr(exc)
             else:
                 update = self._corrupt_update(round_index, update, reference)
-                update, wire_bytes, dense_bytes = self._encode_collected(
-                    round_index, update, wire_reference, client
-                )
+                try:
+                    update, wire_bytes, dense_bytes = self._encode_collected(
+                        round_index, update, wire_reference, client
+                    )
+                except WireDeliveryError as exc:
+                    # The client trained fine; only delivery failed.  Its
+                    # local state stays advanced (as on a real device) and
+                    # the client is quarantined for the round — a recoverable
+                    # per-client event, never run-fatal.
+                    bytes_aggregated += exc.wire_bytes
+                    bytes_aggregated_dense += exc.dense_bytes
+                    if rejected is not None:
+                        rejected[client.client_id] = "wire_corrupt"
+                    _log.warning("client %d quarantined: %s", client.client_id, exc)
+                    return bytes_broadcast, bytes_aggregated, bytes_aggregated_dense
                 bytes_aggregated += wire_bytes
                 bytes_aggregated_dense += dense_bytes
                 results.append(
@@ -801,6 +931,7 @@ class ParallelExecutor(RoundExecutor):
         completed: Dict[int, ClientExecution] = {}
         failures: List[ClientFailure] = []
         retries: Dict[int, int] = {}
+        rejected: Dict[int, str] = {}
         respawns_left = self.max_pool_respawns
         bytes_aggregated = 0
         bytes_aggregated_dense = 0
@@ -1003,13 +1134,34 @@ class ParallelExecutor(RoundExecutor):
                     # path to the sequential engine) so both backends poison
                     # bit-identically; the worker trained honestly.
                     update = self._corrupt_update(round_index, update, reference)
-                    if self.codec is None:
+                    wire_active = (
+                        self.fault_injector is not None
+                        and self.fault_injector.wire_enabled
+                    )
+                    if self.codec is None and not wire_active:
                         bytes_aggregated += len(outcome.update_payload)
                         bytes_aggregated_dense += state_dict_nbytes(update.state)
                     else:
-                        update, wire_bytes, dense_bytes = self._encode_collected(
-                            round_index, update, wire_reference, by_id[cid]
+                        # The worker's packed payload doubles as the wire
+                        # payload unless Byzantine corruption detached
+                        # update.state from those bytes.
+                        raw = (
+                            outcome.update_payload
+                            if self.byzantine is None
+                            else None
                         )
+                        try:
+                            update, wire_bytes, dense_bytes = self._encode_collected(
+                                round_index, update, wire_reference, by_id[cid],
+                                raw_payload=raw,
+                            )
+                        except WireDeliveryError as exc:
+                            bytes_aggregated += exc.wire_bytes
+                            bytes_aggregated_dense += exc.dense_bytes
+                            rejected[cid] = "wire_corrupt"
+                            _log.warning("client %d quarantined: %s", cid, exc)
+                            _refill()
+                            continue
                         bytes_aggregated += wire_bytes
                         bytes_aggregated_dense += dense_bytes
                     completed[cid] = ClientExecution(
@@ -1031,7 +1183,7 @@ class ParallelExecutor(RoundExecutor):
                 # into the next wave/round otherwise.
                 self._terminate_pool()
             pending = next_pending
-        self._check_participation(len(participants), len(completed), failures)
+        self._check_participation(len(participants), len(completed), failures, rejected)
         results = [
             completed[client.client_id]
             for client in participants
@@ -1045,6 +1197,7 @@ class ParallelExecutor(RoundExecutor):
             failures=failures,
             retries=retries,
             op_stats=self._profile_end(profile_token),
+            rejected=rejected,
         ))
 
 

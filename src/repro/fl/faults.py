@@ -38,6 +38,10 @@ from repro.utils.rng import derive_rng
 #: Every fault kind an injector can decide on ("none" means healthy).
 FAULT_KINDS = ("none", "crash", "transient", "straggler", "worker_death")
 
+#: Wire-level corruption kinds applied to encoded update payloads
+#: ("none" means the transmission arrives intact).
+WIRE_FAULT_KINDS = ("none", "bit_flip", "truncate", "garble_header")
+
 
 class InjectedFault(RuntimeError):
     """Base class of all injector-raised failures."""
@@ -91,6 +95,42 @@ PlanKey = Tuple[int, int, int]  # (round_index, client_id, attempt)
 PlanValue = Union[str, FaultDecision]
 
 
+def corrupt_payload(payload: bytes, kind: str, rng) -> bytes:
+    """Apply one wire-corruption ``kind`` to an encoded update payload.
+
+    Pure in ``(payload, kind, rng state)``: the same rng (normally a
+    ``derive_rng``-seeded generator) mangles the same bytes the same way,
+    which is what makes chaos runs replay bit-identically.
+
+    * ``bit_flip`` flips a single random bit somewhere in the payload;
+    * ``truncate`` cuts the payload at a random interior offset;
+    * ``garble_header`` overwrites a byte in the first 12 bytes — the RFW1
+      magic/version/codec header (or the npz ZIP magic for dense payloads).
+    """
+    if kind == "none":
+        return payload
+    if kind not in WIRE_FAULT_KINDS:
+        raise ValueError(f"kind must be one of {WIRE_FAULT_KINDS}")
+    if not payload:
+        return payload
+    data = bytearray(payload)
+    if kind == "bit_flip":
+        index = int(rng.integers(0, len(data)))
+        data[index] ^= 1 << int(rng.integers(0, 8))
+    elif kind == "truncate":
+        # Keep at least one byte and drop at least one so the cut is real.
+        if len(data) == 1:
+            return b""
+        cut = int(rng.integers(1, len(data)))
+        del data[cut:]
+    else:  # garble_header
+        span = min(12, len(data))
+        index = int(rng.integers(0, span))
+        # XOR with a random non-zero byte so the header always changes.
+        data[index] ^= int(rng.integers(1, 256))
+    return bytes(data)
+
+
 class FaultInjector:
     """Seeded, stateless fault oracle for the round executors.
 
@@ -105,15 +145,22 @@ class FaultInjector:
         config's delay).  Triples absent from the plan fall back to the
         seeded sampling — pass ``FaultConfig()`` (all rates zero) for a
         fully scripted schedule.
+    wire_plan:
+        Optional explicit wire-corruption overrides keyed like ``plan`` but
+        on *transmission* attempts: ``{(round, client, attempt): kind}``
+        with a kind from :data:`WIRE_FAULT_KINDS`.  Triples absent from the
+        plan fall back to the seeded ``wire_corrupt_rate`` sampling.
     """
 
     def __init__(
         self,
         config: Optional[FaultConfig] = None,
         plan: Optional[Mapping[PlanKey, PlanValue]] = None,
+        wire_plan: Optional[Mapping[PlanKey, str]] = None,
     ) -> None:
         self.config = config or FaultConfig()
         self.plan = dict(plan) if plan else {}
+        self.wire_plan = dict(wire_plan) if wire_plan else {}
 
     def decide(self, round_index: int, client_id: int, attempt: int) -> FaultDecision:
         """The (deterministic) fate of this execution attempt."""
@@ -164,6 +211,82 @@ class FaultInjector:
             config.jitter_sigma * float(rng.standard_normal())
         )
         return base + jitter
+
+    @property
+    def wire_enabled(self) -> bool:
+        """Whether any wire corruption can occur (rate or scripted plan)."""
+        return self.config.wire_corrupt_rate > 0.0 or bool(self.wire_plan)
+
+    @property
+    def checkpoint_enabled(self) -> bool:
+        """Whether checkpoint corruption can occur."""
+        return self.config.checkpoint_corrupt_rate > 0.0
+
+    def wire_fault(self, round_index: int, client_id: int, attempt: int) -> str:
+        """Corruption kind for one payload transmission ("none" = intact).
+
+        ``attempt`` counts *transmissions* of this client's update within
+        the round — its own counter, independent of the training-fault
+        attempt counter, so retransmission schedules are identical on every
+        backend regardless of how training retries interleave.
+        """
+        planned = self.wire_plan.get((round_index, client_id, attempt))
+        if planned is not None:
+            if planned not in WIRE_FAULT_KINDS:
+                raise ValueError(f"planned wire fault must be one of {WIRE_FAULT_KINDS}")
+            return planned
+        rate = self.config.wire_corrupt_rate
+        if rate <= 0.0:
+            return "none"
+        rng = derive_rng(self.config.seed, "wire", round_index, client_id, attempt)
+        if float(rng.random()) >= rate:
+            return "none"
+        # Same stream picks the kind, so (fires?, kind) replays together.
+        kinds = WIRE_FAULT_KINDS[1:]
+        return kinds[int(rng.integers(0, len(kinds)))]
+
+    def corrupt_wire(
+        self, payload: bytes, round_index: int, client_id: int, attempt: int
+    ) -> Tuple[bytes, str]:
+        """Possibly-corrupted copy of one transmission, plus the kind applied.
+
+        Byte positions are drawn from a dedicated ``"wire-bytes"`` stream so
+        adding kinds never perturbs the fires-or-not schedule above.
+        """
+        kind = self.wire_fault(round_index, client_id, attempt)
+        if kind == "none":
+            return payload, kind
+        rng = derive_rng(
+            self.config.seed, "wire-bytes", round_index, client_id, attempt
+        )
+        return corrupt_payload(payload, kind, rng), kind
+
+    def checkpoint_fault(self, round_index: int) -> bool:
+        """Whether the checkpoint written after ``round_index`` rots on disk."""
+        rate = self.config.checkpoint_corrupt_rate
+        if rate <= 0.0:
+            return False
+        rng = derive_rng(self.config.seed, "ckpt", round_index)
+        return float(rng.random()) < rate
+
+    def corrupt_checkpoint(self, path: str, round_index: int) -> bool:
+        """Corrupt the checkpoint file at ``path`` if this round's draw fires.
+
+        Returns whether corruption was applied.  The mangling reuses
+        :func:`corrupt_payload` over the file bytes (seeded from the round),
+        simulating storage rot *after* a successful atomic write — exactly
+        the failure the digest-verified last-good recovery chain exists for.
+        """
+        if not self.checkpoint_fault(round_index):
+            return False
+        rng = derive_rng(self.config.seed, "ckpt-bytes", round_index)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        kinds = ("bit_flip", "truncate", "garble_header")
+        kind = kinds[int(rng.integers(0, len(kinds)))]
+        with open(path, "wb") as handle:
+            handle.write(corrupt_payload(data, kind, rng))
+        return True
 
     def _coerce(self, planned: PlanValue) -> FaultDecision:
         if isinstance(planned, FaultDecision):

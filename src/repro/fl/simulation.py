@@ -268,7 +268,17 @@ class FederatedSimulation:
                     and self.checkpoint.enabled
                     and self.server.round % self.checkpoint.every == 0
                 ):
-                    self.save_checkpoint()
+                    path = self.save_checkpoint()
+                    injector = getattr(self.executor, "fault_injector", None)
+                    if (
+                        injector is not None
+                        and injector.checkpoint_enabled
+                        and injector.corrupt_checkpoint(path, self.server.round)
+                    ):
+                        # Chaos channel: rot the bytes we just wrote, exactly
+                        # as a torn write or bad sector would.  resume() falls
+                        # back to the newest checkpoint that still verifies.
+                        _log.warning("chaos: corrupted checkpoint %s", path)
         except RoundExecutionError:
             self.close()
             raise
@@ -297,16 +307,20 @@ class FederatedSimulation:
                     else execution.expected_participants
                 ),
                 min_participation=self.executor.min_participation,
+                staleness=execution.staleness_weights or None,
             )
         screening = self.server.last_screening
         # Quarantines can come from server-side screening (synchronous
-        # engines) or from the async engine's streaming admission screener;
-        # a run uses one or the other, so merging loses nothing.
+        # engines), from the async engine's streaming admission screener, or
+        # from the executor's wire-delivery quarantine; a client lands in at
+        # most one of those per round, so merging loses nothing.  The
+        # aggregate sanity gate's drops ride along under their own reasons.
         rejected = dict(execution.rejected)
         anomaly_scores = dict(execution.anomaly_scores)
         if screening is not None:
             rejected.update(screening.rejected)
             anomaly_scores.update(screening.scores)
+        rejected.update(self.server.last_gate)
         round_losses = {u.client_id: u.train_loss for u in updates}
         self.history.train_losses.append(round_losses)
         self.history.round_metrics.append(
@@ -391,12 +405,15 @@ class FederatedSimulation:
         configuration as the interrupted run) that calls ``resume(n)``
         produces a history bit-identical to an uninterrupted ``run(n)``.
         Without any checkpoint on disk this is exactly ``run(rounds)``.
+
+        Checkpoints whose integrity digest fails to verify (torn writes,
+        bit rot, chaos-injected corruption) are skipped with a warning and
+        the next-newest one is tried — the last-good chain.  Resume starts
+        from scratch only when *no* checkpoint on disk verifies.
         """
         if self.checkpoint is None or self.checkpoint.directory is None:
             raise ValueError("resume requires CheckpointConfig(directory=...)")
-        path = ckpt.latest_checkpoint(self.checkpoint.directory)
-        if path is not None:
-            self.restore(path)
+        ckpt.restore_latest_good(self, self.checkpoint.directory)
         remaining = rounds - self.server.round
         if remaining > 0:
             self.run(remaining)

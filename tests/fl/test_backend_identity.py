@@ -31,7 +31,7 @@ from repro.core.config import CheckpointConfig, CIPConfig
 from repro.data.partition import partition_iid
 from repro.data.synthetic import ImageSpec, generate_image_dataset
 from repro.fl.batched import BatchedExecutor
-from repro.fl.checkpoint import latest_checkpoint
+from repro.fl.checkpoint import latest_checkpoint, load_checkpoint
 from repro.fl.client import ClientConfig, FLClient
 from repro.fl.executor import ParallelExecutor, SequentialExecutor
 from repro.fl.server import FLServer
@@ -240,8 +240,7 @@ class TestCheckpointBackendCompatibility:
         with use_backend("accelerated", compute_dtype="float32"):
             sim = _build_checkpointed_sim(tiny_vector_dataset, directory)
             sim.run(1)
-        with open(latest_checkpoint(directory), "rb") as handle:
-            payload = pickle.load(handle)
+        payload = load_checkpoint(latest_checkpoint(directory))
         assert payload["nn_backend"] == "accelerated"
         assert payload["compute_dtype"] == "float32"
 
@@ -254,9 +253,9 @@ class TestCheckpointBackendCompatibility:
         sim = _build_checkpointed_sim(tiny_vector_dataset, directory)
         sim.run(2)
         path = latest_checkpoint(directory)
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+        payload = load_checkpoint(path)
         del payload["nn_backend"], payload["compute_dtype"]
+        # Rewritten headerless, exactly as pre-digest builds wrote it.
         with open(path, "wb") as handle:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
 

@@ -29,7 +29,7 @@ from repro.core.config import CheckpointConfig
 from repro.data.partition import partition_iid
 from repro.fl.async_engine import AsyncExecutor
 from repro.fl.batched import BatchedExecutor
-from repro.fl.checkpoint import latest_checkpoint
+from repro.fl.checkpoint import latest_checkpoint, load_checkpoint
 from repro.fl.client import ClientConfig, FLClient
 from repro.fl.communication import (
     WIRE_FORMAT_VERSION,
@@ -374,8 +374,7 @@ class TestCheckpointing:
         _build_codec_sim(
             tiny_vector_dataset, directory, TopKCodec(fraction=0.25)
         ).run(2)
-        with open(latest_checkpoint(directory), "rb") as handle:
-            payload = pickle.load(handle)
+        payload = load_checkpoint(latest_checkpoint(directory))
         assert payload["wire_codec"] == "topk"
         assert payload["wire_format_version"] == WIRE_FORMAT_VERSION
 
@@ -391,9 +390,9 @@ class TestCheckpointing:
         directory = str(tmp_path / "legacy")
         _build_codec_sim(tiny_vector_dataset, directory, None).run(2)
         path = latest_checkpoint(directory)
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+        payload = load_checkpoint(path)
         del payload["wire_codec"], payload["wire_format_version"]
+        # Rewritten headerless, exactly as pre-digest builds wrote it.
         with open(path, "wb") as handle:
             pickle.dump(payload, handle)
         resumed = _build_codec_sim(tiny_vector_dataset, directory, None)
