@@ -1,6 +1,6 @@
-"""Round throughput: execution engines and nn array backends.
+"""Round throughput: execution engines, nn array backends, virtualization.
 
-Three sweeps, one JSON:
+Four sweeps, one JSON:
 
 1. Sequential vs process execution on a synthetic tabular federation at
    2, 4, and 8 clients (the original bench; row schema unchanged).
@@ -17,6 +17,13 @@ Three sweeps, one JSON:
    grouped kernels.  Each row also records a digest of the final global
    state, and the sweep asserts the batched digest matches sequential
    bit-for-bit on every backend x dtype combo.
+4. Virtualized *cross-device* rounds (see ``repro.fl.registry``): 2k- and
+   10k-client populations at a fixed 100-client cohort.  Each row records
+   the flat-memory evidence — peak RSS, store-resident bytes, and the
+   high-water count of simultaneously live clients (which must equal the
+   cohort, not the population) — and a small live-vs-virtual federation
+   pair asserts that lazy materialization reproduces the eager-object
+   path's bits exactly.
 
 Writes ``BENCH_round_throughput.json`` at the repo root — the baseline
 file future perf work diffs against.
@@ -59,6 +66,7 @@ from repro.data.synthetic import (
 )
 from repro.fl.client import ClientConfig, FLClient
 from repro.fl.executor import make_executor
+from repro.fl.registry import ClientRegistry
 from repro.fl.server import FLServer
 from repro.fl.simulation import FederatedSimulation
 from repro.nn.backend import use_backend
@@ -105,6 +113,13 @@ _IMAGE_SPEC = ImageSpec(num_classes=4, channels=1, height=16, width=16, noise_sc
 BATCHED_CLIENTS = 24
 BATCHED_ROUNDS = 8
 _COHORT_SPEC = ImageSpec(num_classes=4, channels=1, height=8, width=8, noise_scale=0.1)
+
+#: Virtualized sweep: populations far beyond what eager client objects
+#: could hold, at a fixed small cohort.  Memory must track the cohort.
+VIRTUAL_POPULATIONS = (2_000, 10_000)
+VIRTUAL_COHORT = 100
+VIRTUAL_ROUNDS = 3
+_VIRTUAL_SPEC = TabularSpec(num_classes=4, num_features=16, flip_probability=0.1)
 
 
 def _build_federation(num_clients: int, seed: int = 0):
@@ -284,6 +299,80 @@ def _time_batched_combo(nn_backend: str, compute_dtype: str) -> list:
     return rows
 
 
+def _virtual_client_factory(seed: int = 0):
+    """Factories for a derivable federation: client ``cid`` is a pure
+    function of ``(seed, cid)``, so cold materializations are bit-stable."""
+
+    def model_factory():
+        return build_model(
+            "mlp", _VIRTUAL_SPEC.num_classes,
+            in_features=_VIRTUAL_SPEC.num_features, hidden=(16,),
+            seed=derive_rng(seed, "bench-vm"),
+        )
+
+    def client_factory(cid: int) -> FLClient:
+        shard = generate_tabular_dataset(
+            _VIRTUAL_SPEC, samples_per_class=4,
+            seed=derive_rng(seed, "bench-vd", cid),
+        )
+        return FLClient(cid, shard, model_factory, ClientConfig(lr=5e-2, batch_size=8),
+                        seed=derive_rng(seed, "bench-vc", cid))
+
+    return model_factory, client_factory
+
+
+def _time_virtual(population: int, seed: int = 0) -> dict:
+    """One virtualized run: timing plus the flat-memory evidence."""
+    model_factory, client_factory = _virtual_client_factory(seed)
+    registry = ClientRegistry(client_factory, population=population)
+    server = FLServer(model_factory)
+    with FederatedSimulation(
+        server, registry=registry,
+        clients_per_round=VIRTUAL_COHORT, sampling_seed=seed,
+    ) as sim:
+        start = time.perf_counter()
+        sim.run(VIRTUAL_ROUNDS)
+        elapsed = time.perf_counter() - start
+        metrics = sim.history.round_metrics
+    mean_round = elapsed / VIRTUAL_ROUNDS
+    row = {
+        "backend": "sequential",
+        "mode": "virtual",
+        "population": population,
+        "cohort": VIRTUAL_COHORT,
+        "rounds": VIRTUAL_ROUNDS,
+        "rounds_per_sec": (1.0 / mean_round) if mean_round > 0 else float("inf"),
+        "mean_round_sec": mean_round,
+        "peak_rss_mb": max((m.peak_rss_bytes or 0) for m in metrics) / 1e6,
+        "store_resident_mb": registry.store.resident_bytes() / 1e6,
+        "max_live_clients": registry.max_live,
+        "materializations": registry.materialized_total,
+        "state_digest": _state_digest(server.global_state()),
+    }
+    registry.close()
+    return row
+
+
+def _virtual_digest_match(seed: int = 0) -> bool:
+    """Live vs virtual on the identical small federation: bits must agree."""
+    population, cohort, rounds = 32, 8, 3
+    digests = []
+    for virtual in (False, True):
+        model_factory, client_factory = _virtual_client_factory(seed)
+        server = FLServer(model_factory)
+        if virtual:
+            registry = ClientRegistry(client_factory, population=population)
+            sim_kwargs = {"registry": registry}
+        else:
+            sim_kwargs = {"clients": [client_factory(i) for i in range(population)]}
+        with FederatedSimulation(
+            server, clients_per_round=cohort, sampling_seed=seed, **sim_kwargs
+        ) as sim:
+            sim.run(rounds)
+        digests.append(_state_digest(server.global_state()))
+    return digests[0] == digests[1]
+
+
 def run_bench() -> dict:
     rows = [
         _time_backend(backend, num_clients)
@@ -310,6 +399,10 @@ def run_bench() -> dict:
         "batched_rows": batched_rows,
         "batched_speedup_vs_sequential": _batched_speedup(batched_rows),
         "batched_digest_match": _batched_digest_match(batched_rows),
+        "virtual_rows": [
+            _time_virtual(population) for population in VIRTUAL_POPULATIONS
+        ],
+        "virtual_digest_match": _virtual_digest_match(),
     }
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     return report
@@ -388,7 +481,20 @@ def test_round_throughput(benchmark):
             f"{row['rounds_per_sec']:.2f} rounds/sec"
         )
     print(f"  batched speedups: {report['batched_speedup_vs_sequential']}")
+    for row in report["virtual_rows"]:
+        print(
+            f"  virtual {row['population']:>6d} clients @ cohort "
+            f"{row['cohort']}: {row['rounds_per_sec']:.2f} rounds/sec, "
+            f"peak RSS {row['peak_rss_mb']:.1f} MB, "
+            f"max live {row['max_live_clients']}"
+        )
+    print(f"  virtual digest match: {report['virtual_digest_match']}")
     assert OUTPUT.exists()
+    # Flat memory: only the cohort is ever live, at every population scale,
+    # and lazy materialization must not change the trained bits.
+    for row in report["virtual_rows"]:
+        assert row["max_live_clients"] <= VIRTUAL_COHORT, row
+    assert report["virtual_digest_match"]
     # Parallel wins require real cores; a single-core container pays IPC
     # overhead with nothing to parallelize over, so only assert there.
     # Gate on the affinity-visible count: os.cpu_count() reports the
@@ -425,3 +531,4 @@ if __name__ == "__main__":
     print(f"nn speedups: {generated['nn_backend_speedup_vs_reference']}")
     print(f"batched speedups: {generated['batched_speedup_vs_sequential']}")
     print(f"batched digests match: {generated['batched_digest_match']}")
+    print(f"virtual digest match: {generated['virtual_digest_match']}")

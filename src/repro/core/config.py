@@ -187,6 +187,29 @@ class ExecutionConfig:
         Retain only the newest ``checkpoint_keep`` checkpoints — the
         last-good chain that corruption recovery falls back along
         (``0`` keeps all).
+    population:
+        Virtualized-federation client count (see
+        :class:`repro.fl.registry.ClientRegistry`).  ``None`` (default)
+        keeps the historical live-object path; setting it builds clients
+        lazily from ``(seed, client_id)`` so memory scales with the
+        *cohort*, not the population.
+    cohort_fraction:
+        Fraction of the population sampled per round under
+        virtualization; ``None`` selects every client (only sensible for
+        small populations).
+    shards:
+        Hierarchical-aggregation shard count (see
+        :class:`repro.fl.aggregation.ShardAggregator`).  ``1`` (default)
+        keeps flat aggregation; ``> 1`` folds the cohort edge → region →
+        root.  Sharded FedAvg is bitwise identical to flat; robust rules
+        apply shard-locally.
+    state_store:
+        Where virtualized per-client mutable state lives between rounds:
+        ``"memory"`` (default, everything resident) or ``"lru"`` (hot
+        cache of ``state_cache_size`` clients, rest spilled to disk;
+        evict/rehydrate is bit-identical).
+    state_cache_size:
+        Hot-tier capacity (client count) of the ``lru`` state store.
     """
 
     backend: str = "sequential"
@@ -225,6 +248,11 @@ class ExecutionConfig:
     checkpoint_dir: Optional[str] = None
     checkpoint_every: int = 1
     checkpoint_keep: int = 3
+    population: Optional[int] = None
+    cohort_fraction: Optional[float] = None
+    shards: int = 1
+    state_store: str = "memory"
+    state_cache_size: int = 64
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
@@ -285,6 +313,20 @@ class ExecutionConfig:
             raise ValueError("checkpoint_every must be at least 1")
         if self.checkpoint_keep < 0:
             raise ValueError("checkpoint_keep must be non-negative")
+        if self.population is not None and self.population < 1:
+            raise ValueError("population must be at least 1")
+        if self.cohort_fraction is not None and not 0.0 < self.cohort_fraction <= 1.0:
+            raise ValueError("cohort_fraction must be in (0, 1]")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        # Imported lazily to keep repro.core free of an import-time cycle
+        # with the fl package.
+        from repro.fl.registry import STATE_STORES
+
+        if self.state_store not in STATE_STORES:
+            raise ValueError(f"state_store must be one of {STATE_STORES}")
+        if self.state_cache_size < 1:
+            raise ValueError("state_cache_size must be at least 1")
         # Imported lazily: repro.nn.backend must stay importable without
         # repro.core (the nn substrate has no core dependency).
         from repro.nn.backend import available_backends, available_dtype_policies

@@ -44,6 +44,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration side e
     exp_ablations,
     exp_memguard,
     exp_robustness,
+    exp_scale,
 )
 
 __all__ = [

@@ -323,6 +323,55 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 16)",
     )
 
+    from repro.fl.registry import STATE_STORES
+
+    scaling = parser.add_argument_group(
+        "scaling",
+        "client virtualization and hierarchical aggregation for large "
+        "populations (see repro.fl.registry; memory scales with the cohort, "
+        "not the population)",
+    )
+    scaling.add_argument(
+        "--population",
+        type=int,
+        default=None,
+        metavar="N",
+        help="virtualize the federation to N lazily-materialized clients "
+        "(default: live client objects, the historical path)",
+    )
+    scaling.add_argument(
+        "--cohort-fraction",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fraction of the population sampled per round under "
+        "--population (default: every client)",
+    )
+    scaling.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="S",
+        help="hierarchical-aggregation shard count; sharded FedAvg is "
+        "bitwise identical to flat, robust rules apply shard-locally "
+        "(default: 1 = flat)",
+    )
+    scaling.add_argument(
+        "--state-store",
+        default="memory",
+        choices=STATE_STORES,
+        help="where virtualized per-client state lives between rounds: "
+        "memory (all resident) or lru (hot cache + disk spill) "
+        "(default: memory)",
+    )
+    scaling.add_argument(
+        "--state-cache-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="hot-tier client capacity of --state-store lru (default: 64)",
+    )
+
     robust = parser.add_argument_group(
         "Byzantine robustness",
         "malicious-client update attacks and the server-side defenses "
@@ -519,6 +568,11 @@ def main(argv=None) -> int:
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
             checkpoint_keep=args.checkpoint_keep,
+            population=args.population,
+            cohort_fraction=args.cohort_fraction,
+            shards=args.shards,
+            state_store=args.state_store,
+            state_cache_size=args.state_cache_size,
         ),
         faults=parse_fault_config(
             args.inject_faults,

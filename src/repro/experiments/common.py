@@ -145,7 +145,11 @@ def configure_server_robustness(server) -> None:
     call site repeating the option plumbing.
     """
     config = _EXECUTION_CONFIG
-    if config.aggregator != getattr(server, "aggregator_name", "fedavg"):
+    needs_aggregator = (
+        config.aggregator != getattr(server, "aggregator_name", "fedavg")
+        or config.shards > 1
+    )
+    if needs_aggregator:
         options: Dict[str, object] = {}
         if config.aggregator == "trimmed_mean":
             options["trim_fraction"] = config.trim_fraction
@@ -153,6 +157,8 @@ def configure_server_robustness(server) -> None:
             options["clip_norm"] = config.clip_norm
         elif config.aggregator in ("krum", "multi_krum"):
             options["num_byzantine"] = config.krum_byzantine
+        if config.shards > 1:
+            options["shards"] = config.shards
         server.set_aggregator(config.aggregator, **options)
     # The async backend screens at admission (streaming window inside the
     # executor); enabling server-side screening too would double-screen the

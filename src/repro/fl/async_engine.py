@@ -328,6 +328,12 @@ class AsyncExecutor(RoundExecutor):
                 f"{len(failures)} failed{': ' + detail if detail else ''}"
             )
         self._check_participation(attempted, len(buffer), failures, rejected)
+        # Every dispatched task already trained (training is eager; only
+        # arrival is deferred), so no client object is needed across steps —
+        # the heap holds state dicts, not clients.  Hand the whole cohort's
+        # mutable state back to the registry store.
+        for client in participants:
+            self._release_collected(client)
         return self._finalize_execution(RoundExecution(
             results=results,
             bytes_broadcast=bytes_broadcast,

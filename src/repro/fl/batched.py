@@ -499,6 +499,7 @@ class BatchedExecutor(SequentialExecutor):
                 if collected:
                     results_by_id[client.client_id] = collected[0]
                 executed.add(client.client_id)
+                self._release_collected(client)
                 continue
             group, plan = grouped
             try:
@@ -524,6 +525,7 @@ class BatchedExecutor(SequentialExecutor):
                     update=update, compute_seconds=per_client_seconds
                 )
                 executed.add(member.client_id)
+                self._release_collected(member)
         self._check_participation(
             len(participants), len(results_by_id), failures, rejected
         )

@@ -12,6 +12,14 @@ persists everything its next round depends on:
 * the participant-sampling RNG state and the LR-schedule position;
 * the full :class:`~repro.fl.simulation.FLHistory`.
 
+Virtualized populations (:class:`~repro.fl.registry.ClientRegistry`) store
+only the *dirty* client states — the state-store contents, hot tier and
+spilled files alike — plus the registry's spec digest and population size;
+cold clients re-derive their initial state from ``(seed, client_id)`` at
+materialization, so checkpoint size scales with the clients that have ever
+trained, not with the population.  Restores cross-check the spec digest and
+refuse live↔virtual mismatches.
+
 Restoring into a freshly-constructed, identically-configured simulation and
 continuing produces a run *bit-identical* to one that was never interrupted
 (sequential backend; asserted by ``tests/fl/test_faults.py``): all
@@ -95,6 +103,28 @@ def save_checkpoint(simulation, directory: str, keep: int = 0) -> str:
     """
     os.makedirs(directory, exist_ok=True)
     round_index = simulation.server.round
+    registry = simulation.registry
+    if registry.is_virtual:
+        # Virtualized population: persist only the *dirty* states — clients
+        # that have ever trained and therefore have an entry in the state
+        # store (hot or spilled).  Cold clients re-derive their initial
+        # state from ``(seed, client_id)`` on materialization, so storing
+        # them would be pure redundancy — this is what keeps checkpoint
+        # size proportional to the touched set, not the population.
+        client_snapshot = registry.store.snapshot_all()
+        registry_meta = {
+            "spec_digest": registry.spec_digest(),
+            "population": len(registry),
+            "schedule_lr": registry.schedule_lr,
+            "spill_manifest": registry.store.spill_manifest(),
+        }
+    else:
+        # clone(): the snapshot must not alias the clients' live RNGs.
+        client_snapshot = {
+            client.client_id: client.get_mutable_state().clone()
+            for client in simulation.clients
+        }
+        registry_meta = None
     payload = {
         "version": CHECKPOINT_VERSION,
         "round": round_index,
@@ -111,11 +141,12 @@ def save_checkpoint(simulation, directory: str, keep: int = 0) -> str:
         "wire_codec": codec_name(getattr(simulation.executor, "codec", None)),
         "wire_format_version": WIRE_FORMAT_VERSION,
         "server_state": pack_state_dict(simulation.server.global_state()),
-        # clone(): the snapshot must not alias the clients' live RNGs.
-        "clients": {
-            client.client_id: client.get_mutable_state().clone()
-            for client in simulation.clients
-        },
+        "clients": client_snapshot,
+        # ``None`` for live-object populations; virtual runs carry the
+        # registry identity (spec digest + population) so a restore can
+        # refuse a mismatched reconstruction, plus the schedule lr and the
+        # spill manifest (informational: states are inlined above).
+        "registry": registry_meta,
         "sampling_rng_state": simulation._sampling_rng.bit_generator.state,
         # Evolving executor state (None for the stateless synchronous
         # engines).  The async engine exports its stream here — in-flight
@@ -252,13 +283,44 @@ def restore_simulation(simulation, path: str) -> int:
             f"{WIRE_FORMAT_VERSION}"
         )
     client_states = payload["clients"]
-    simulation_ids = {client.client_id for client in simulation.clients}
-    if set(client_states) != simulation_ids:
-        raise ValueError(
-            f"checkpoint {path} holds clients {sorted(client_states)} but the "
-            f"simulation has {sorted(simulation_ids)}; reconstruct the "
-            "simulation with the population it was checkpointed with"
-        )
+    registry_meta = payload.get("registry")
+    registry = simulation.registry
+    if registry.is_virtual:
+        if registry_meta is None:
+            raise ValueError(
+                f"checkpoint {path} was written by a live-object simulation; "
+                "restore it into a simulation constructed with the same "
+                "client list, not a virtual registry"
+            )
+        if registry_meta.get("spec_digest") != registry.spec_digest():
+            raise ValueError(
+                f"checkpoint {path} was written by a registry with spec "
+                f"digest {registry_meta.get('spec_digest')!r} but the "
+                f"simulation's registry has {registry.spec_digest()!r}; "
+                "reconstruct the registry with the population/spec it was "
+                "checkpointed with"
+            )
+        unknown = set(client_states) - set(registry.client_ids)
+        if unknown:
+            raise ValueError(
+                f"checkpoint {path} holds states for clients "
+                f"{sorted(unknown)} that the registry does not know"
+            )
+    else:
+        if registry_meta is not None:
+            raise ValueError(
+                f"checkpoint {path} was written by a virtualized simulation "
+                f"(population {registry_meta.get('population')}); restore it "
+                "into a simulation constructed with the matching "
+                "ClientRegistry"
+            )
+        simulation_ids = {client.client_id for client in simulation.clients}
+        if set(client_states) != simulation_ids:
+            raise ValueError(
+                f"checkpoint {path} holds clients {sorted(client_states)} but "
+                f"the simulation has {sorted(simulation_ids)}; reconstruct "
+                "the simulation with the population it was checkpointed with"
+            )
     round_index = int(payload["round"])
     try:
         # load_state_dict is strict: a checkpoint that lacks a parameter or
@@ -273,8 +335,17 @@ def restore_simulation(simulation, path: str) -> int:
             f"checkpoint {path} is incompatible with the simulation's model: "
             f"{exc}"
         ) from exc
-    for client in simulation.clients:
-        client.set_mutable_state(client_states[client.client_id])
+    if registry.is_virtual:
+        # Dirty states go back into the store (replacing whatever partial
+        # state it held); cold clients keep deriving from (seed, id).  The
+        # schedule lr re-applies to every client materialized from now on.
+        registry.store.load_snapshot(client_states)
+        schedule_lr = registry_meta.get("schedule_lr")
+        if schedule_lr is not None:
+            registry.schedule_lr = float(schedule_lr)
+    else:
+        for client in simulation.clients:
+            client.set_mutable_state(client_states[client.client_id])
     rng = np.random.default_rng()
     rng.bit_generator.state = payload["sampling_rng_state"]
     simulation._sampling_rng = rng

@@ -89,7 +89,19 @@ class ClientMutableState:
 
 
 class FLClient:
-    """A benign FL participant training the plain single-channel model."""
+    """A benign FL participant training the plain single-channel model.
+
+    Virtualization contract (see :mod:`repro.fl.registry`): a client must
+    be fully reconstructible from its constructor arguments plus a
+    :class:`ClientMutableState` snapshot.  Everything that evolves across
+    rounds has to round-trip through :meth:`get_mutable_state` /
+    :meth:`set_mutable_state` — subclasses hook
+    :meth:`_extra_mutable_state` / :meth:`_load_extra_state` for their own
+    evolving state (e.g. the CIP perturbation) so lazy re-materialization
+    in round *k* is bit-identical to an object that lived through rounds
+    1..k-1.  State kept only as instance attributes outside the snapshot
+    is silently lost when a registry releases the client.
+    """
 
     def __init__(
         self,

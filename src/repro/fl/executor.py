@@ -472,12 +472,39 @@ class RoundExecutor(ABC):
             f"{detail}"
         )
 
+    #: Client registry bound by the simulation (``None`` for standalone
+    #: executor use).  A *virtual* registry (see :mod:`repro.fl.registry`)
+    #: materializes only the sampled cohort; the engines hand members back
+    #: via :meth:`_release_collected` so their mutable state returns to the
+    #: state store (where it can be LRU-evicted or spilled) as soon as it is
+    #: no longer needed.
+    registry = None
+
+    def bind_registry(self, registry) -> None:
+        """Attach the simulation's client registry (live or virtual)."""
+        self.registry = registry
+
+    def _release_collected(self, client: FLClient) -> None:
+        """Return a cohort member's mutable state to the registry store.
+
+        No-op unless a virtual registry is bound: live-object populations
+        keep every client resident (the historical contract), and standalone
+        executor use has no registry at all.  Safe to call once per client —
+        the simulation's end-of-round ``release_all()`` sweep covers any
+        member an engine-specific path (failure, quarantine, timeout) left
+        checked out.
+        """
+        if self.registry is not None and self.registry.is_virtual:
+            self.registry.release(client)
+
     def prepare(self, clients: Sequence[FLClient]) -> None:
         """Register the full client population before the first round.
 
-        Called once by :class:`~repro.fl.simulation.FederatedSimulation`;
-        lets pooled executors ship the heavy immutable client definitions to
-        workers a single time instead of every round.
+        Called once by :class:`~repro.fl.simulation.FederatedSimulation`
+        for live-object populations; lets pooled executors ship the heavy
+        immutable client definitions to workers a single time instead of
+        every round.  Virtual registries call it per round with the
+        materialized cohort instead.
         """
 
     @abstractmethod
@@ -563,6 +590,11 @@ class SequentialExecutor(RoundExecutor):
             bytes_broadcast += sent
             bytes_aggregated += received
             bytes_aggregated_dense += received_dense
+            # The client's contribution (update state dict) is already
+            # collected; its mutable state can go back to the store now, so
+            # a virtual run holds at most one hot client beyond the store's
+            # cache budget at any point in the round.
+            self._release_collected(client)
         self._check_participation(len(participants), len(results), failures, rejected)
         return self._finalize_execution(RoundExecution(
             results=results,
@@ -1184,6 +1216,11 @@ class ParallelExecutor(RoundExecutor):
                 self._terminate_pool()
             pending = next_pending
         self._check_participation(len(participants), len(completed), failures, rejected)
+        # Every result (and every rolled-back failure) has been applied to
+        # its coordinator-side client object; hand the cohort's state back
+        # to the registry store in one sweep.
+        for client in participants:
+            self._release_collected(client)
         results = [
             completed[client.client_id]
             for client in participants

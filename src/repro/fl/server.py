@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.config import ScreeningConfig
-from repro.fl.aggregation import Aggregator, make_aggregator
+from repro.fl.aggregation import Aggregator, ShardAggregator, make_aggregator
 from repro.fl.client import ClientUpdate, ModelFactory
 from repro.fl.robust import ScreeningReport, screen_updates
 from repro.nn.layers import Module
@@ -108,15 +108,37 @@ class FLServer:
     def set_aggregator(
         self, aggregator: Union[str, Aggregator], **options: object
     ) -> None:
-        """Swap the aggregation rule (by registry name or bound callable)."""
+        """Swap the aggregation rule (by registry name or bound callable).
+
+        Registry names accept two topology options on top of the rule's own
+        knobs: ``shards`` (> 1 routes the rule through a hierarchical
+        :class:`~repro.fl.aggregation.ShardAggregator` tree) and
+        ``region_fanout`` (optional region tier between the edge shards and
+        the root).  Sharded FedAvg stays bit-identical to flat FedAvg; the
+        robust rules apply shard-locally (see :class:`ShardAggregator`).
+        """
         if callable(aggregator):
             if options:
                 raise ValueError("options only apply to aggregator names")
             self.aggregator_name = getattr(aggregator, "__name__", "custom")
             self._aggregate = aggregator
         else:
-            self.aggregator_name = aggregator
-            self._aggregate = make_aggregator(aggregator, **options)
+            shards = int(options.pop("shards", 1) or 1)
+            region_fanout = options.pop("region_fanout", None)
+            if shards > 1:
+                sharded = ShardAggregator(
+                    rule=aggregator,
+                    shards=shards,
+                    region_fanout=region_fanout,
+                    **options,
+                )
+                self.aggregator_name = sharded.__name__
+                self._aggregate = sharded
+            else:
+                if region_fanout is not None:
+                    raise ValueError("region_fanout requires shards > 1")
+                self.aggregator_name = aggregator
+                self._aggregate = make_aggregator(aggregator, **options)
         self._aggregate_accepts_staleness = _accepts_staleness(self._aggregate)
 
     @property

@@ -15,6 +15,8 @@ history the evaluation needs:
 
 from __future__ import annotations
 
+import sys
+import tracemalloc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,6 +27,7 @@ from repro.data.dataset import Dataset
 from repro.fl import checkpoint as ckpt
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.executor import RoundExecutionError, RoundExecutor, SequentialExecutor
+from repro.fl.registry import ClientRegistry
 from repro.fl.server import FLServer
 from repro.fl.training import evaluate_model
 from repro.nn.diagnostics import OpStat
@@ -35,6 +38,28 @@ from repro.utils.timer import Stopwatch
 
 StateDict = Dict[str, np.ndarray]
 _log = get_logger("fl.simulation")
+
+
+def peak_memory_bytes() -> Tuple[int, int]:
+    """``(ru_maxrss_bytes, tracemalloc_peak_bytes)`` for the process.
+
+    ``ru_maxrss`` is the process-lifetime high-water RSS (monotone — it
+    never decreases, so per-round values plateau once the peak is hit);
+    the tracemalloc peak is 0 unless tracing is active.  Callers that want
+    a *per-round* tracemalloc peak should ``tracemalloc.reset_peak()``
+    between rounds (``run_round`` does when tracing).
+    """
+    rss = 0
+    try:
+        import resource
+
+        rss = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        if sys.platform != "darwin":
+            rss *= 1024  # Linux reports kilobytes, macOS bytes.
+    except Exception:  # pragma: no cover - platforms without getrusage
+        pass
+    traced = tracemalloc.get_traced_memory()[1] if tracemalloc.is_tracing() else 0
+    return rss, int(traced)
 
 
 @dataclass
@@ -98,6 +123,16 @@ class RoundMetrics:
     #: and ``bytes_out`` the bytes currently parked in the pool (see
     #: :func:`repro.nn.diagnostics.workspace_op_stat`).
     op_stats: Dict[str, "OpStat"] = field(default_factory=dict)
+    #: Process high-water RSS (``ru_maxrss``, bytes) measured right after
+    #: the round's aggregation — the flat-memory evidence for virtualized
+    #: populations.  Monotone across rounds by construction (the OS never
+    #: lowers the high-water mark); 0 on platforms without ``getrusage``.
+    peak_rss_bytes: int = 0
+    #: Python-allocation peak (bytes) over this round, when ``tracemalloc``
+    #: tracing is active for the process; 0 otherwise.  Unlike the RSS
+    #: high-water this resets every round, so it *can* show per-round
+    #: flatness directly.
+    tracemalloc_peak_bytes: int = 0
 
     @property
     def total_compute_seconds(self) -> float:
@@ -112,6 +147,12 @@ class FLHistory:
     round index is the number of completed rounds at measurement time —
     with ``eval_every > 1`` every accuracy still maps back to the exact
     round it measured.
+
+    Every per-client structure here is keyed by client id in plain dicts —
+    never indexed into dense arrays — so sparse id spaces (a 10^6-device
+    registry where one round samples ids ``{3, 1_000_003, ...}``) cost
+    memory proportional to the *participants seen*, not the maximum id
+    (pinned by ``tests/fl/test_virtualization.py``).
     """
 
     train_losses: List[Dict[int, float]] = field(default_factory=list)
@@ -136,6 +177,13 @@ class FLHistory:
                 if client_id in round_losses
             ]
         )
+
+    def participating_clients(self) -> List[int]:
+        """Sorted ids of every client that delivered at least one update."""
+        seen = set()
+        for round_losses in self.train_losses:
+            seen.update(round_losses)
+        return sorted(seen)
 
     def final_test_accuracy(self) -> float:
         return self.test_accuracy[-1][1] if self.test_accuracy else float("nan")
@@ -187,12 +235,21 @@ class FLHistory:
 
 
 class FederatedSimulation:
-    """Synchronous FedAvg simulation over a fixed client population."""
+    """Synchronous FedAvg simulation over a fixed client population.
+
+    The population is either an eager client list (``clients=...``, the
+    historical cross-silo mode: every client stays a live object) or a
+    :class:`~repro.fl.registry.ClientRegistry` (``registry=...``, the
+    cross-device mode: only each round's sampled cohort is ever
+    materialized, dirty state lives in the registry's state store).  Both
+    run through the identical round path and produce bit-identical results
+    for the same sampled cohorts.
+    """
 
     def __init__(
         self,
         server: FLServer,
-        clients: Sequence[FLClient],
+        clients: Optional[Sequence[FLClient]] = None,
         eval_dataset: Optional[Dataset] = None,
         eval_every: int = 0,
         snapshot_rounds: Sequence[int] = (),
@@ -201,11 +258,15 @@ class FederatedSimulation:
         sampling_seed: Optional[int] = None,
         executor: Optional[RoundExecutor] = None,
         checkpoint: Optional[CheckpointConfig] = None,
+        registry: Optional[ClientRegistry] = None,
     ) -> None:
         """``clients_per_round`` enables partial participation: each round a
         uniform random subset of that size trains; the rest sit out (the
         cross-device FedAvg setting).  ``None`` means full participation
         (the paper's cross-silo setting).
+
+        Exactly one of ``clients`` and ``registry`` must be given; an eager
+        ``clients`` list is wrapped in a zero-copy live-mode registry.
 
         ``executor`` selects the round-execution engine (see
         :mod:`repro.fl.executor`); the default trains clients sequentially
@@ -217,12 +278,19 @@ class FederatedSimulation:
         :mod:`repro.fl.checkpoint`): every ``checkpoint.every`` completed
         rounds the full resumable state lands in ``checkpoint.directory``,
         and :meth:`resume` restarts a killed run from the newest one."""
-        if not clients:
-            raise ValueError("simulation needs at least one client")
-        if clients_per_round is not None and not 1 <= clients_per_round <= len(clients):
-            raise ValueError("clients_per_round must be in [1, len(clients)]")
+        if (registry is None) == (clients is None):
+            raise ValueError("pass exactly one of clients or registry")
+        if registry is None:
+            if not clients:
+                raise ValueError("simulation needs at least one client")
+            registry = ClientRegistry.from_clients(clients)
+        if clients_per_round is not None and not 1 <= clients_per_round <= len(registry):
+            raise ValueError("clients_per_round must be in [1, population]")
         self.server = server
-        self.clients = list(clients)
+        self.registry = registry
+        #: Eager mode: the live client list (id order), unchanged contract.
+        #: Virtual mode: ``None`` — clients exist only while checked out.
+        self.clients = registry.live_clients
         self.eval_dataset = eval_dataset
         self.eval_every = eval_every
         self.snapshot_rounds = set(snapshot_rounds)
@@ -230,7 +298,9 @@ class FederatedSimulation:
         self.clients_per_round = clients_per_round
         self._sampling_rng = np.random.default_rng(sampling_seed)
         self.executor = executor if executor is not None else SequentialExecutor()
-        self.executor.prepare(self.clients)
+        self.executor.bind_registry(registry)
+        if self.clients is not None:
+            self.executor.prepare(self.clients)
         self.checkpoint = checkpoint
         self.history = FLHistory()
 
@@ -244,13 +314,20 @@ class FederatedSimulation:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def _select_participants(self) -> List[FLClient]:
+    def _select_participant_ids(self) -> List[int]:
+        """Draw the round's cohort as *ids* — no client is materialized.
+
+        The draw is positional over the sorted id list, so for contiguous
+        ``0..n-1`` populations the sequence of sampled cohorts is
+        bit-identical to the historical object-index draw.
+        """
+        ids = self.registry.client_ids
         if self.clients_per_round is None:
-            return self.clients
+            return list(ids)
         picks = self._sampling_rng.choice(
-            len(self.clients), size=self.clients_per_round, replace=False
+            len(ids), size=self.clients_per_round, replace=False
         )
-        return [self.clients[i] for i in sorted(picks)]
+        return [ids[i] for i in sorted(picks)]
 
     def run(self, rounds: int) -> FLHistory:
         """Run ``rounds`` communication rounds, extending the history.
@@ -290,25 +367,40 @@ class FederatedSimulation:
         record = round_index in self.snapshot_rounds
         before = self.server.global_state() if record else None
 
-        participants = self._select_participants()
-        with Stopwatch() as round_watch:
-            execution = self.executor.execute(participants, self.server)
-            updates = execution.updates
-            # The executor already enforced its min_participation quorum;
-            # re-asserting it here guards the aggregation against any
-            # executor handing over a pathologically small survivor set.
-            # The async engine reports its own quorum base (one execute()
-            # call is one buffer flush, not one full cohort).
-            after = self.server.aggregate(
-                updates,
-                expected_participants=(
-                    len(participants)
-                    if execution.expected_participants is None
-                    else execution.expected_participants
-                ),
-                min_participation=self.executor.min_participation,
-                staleness=execution.staleness_weights or None,
-            )
+        if tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+        participant_ids = self._select_participant_ids()
+        try:
+            with Stopwatch() as round_watch:
+                participants = self.registry.checkout_many(participant_ids)
+                if self.registry.is_virtual:
+                    # Virtual cohorts are fresh objects every round; pooled
+                    # executors re-register them (the process backend pays a
+                    # pool respawn — an accepted, documented cost of
+                    # virtualization; see DESIGN.md §17).
+                    self.executor.prepare(participants)
+                execution = self.executor.execute(participants, self.server)
+                updates = execution.updates
+                # The executor already enforced its min_participation quorum;
+                # re-asserting it here guards the aggregation against any
+                # executor handing over a pathologically small survivor set.
+                # The async engine reports its own quorum base (one execute()
+                # call is one buffer flush, not one full cohort).
+                after = self.server.aggregate(
+                    updates,
+                    expected_participants=(
+                        len(participants)
+                        if execution.expected_participants is None
+                        else execution.expected_participants
+                    ),
+                    min_participation=self.executor.min_participation,
+                    staleness=execution.staleness_weights or None,
+                )
+        finally:
+            # Executors release at their collection points; this sweep is
+            # the safety net (idempotent) and covers mid-round failures.
+            self.registry.release_all()
+        peak_rss, traced_peak = peak_memory_bytes()
         screening = self.server.last_screening
         # Quarantines can come from server-side screening (synchronous
         # engines), from the async engine's streaming admission screener, or
@@ -348,6 +440,8 @@ class FederatedSimulation:
                     else 0.0
                 ),
                 op_stats=execution.op_stats,
+                peak_rss_bytes=peak_rss,
+                tracemalloc_peak_bytes=traced_peak,
             )
         )
 
@@ -363,9 +457,7 @@ class FederatedSimulation:
             )
 
         if self.lr_schedule is not None:
-            lr = self.lr_schedule.step()
-            for client in self.clients:
-                client.set_lr(lr)
+            self.registry.set_lr(self.lr_schedule.step())
 
         if (
             self.eval_dataset is not None
@@ -423,18 +515,41 @@ class FederatedSimulation:
         """Evaluate the current global model (used for final reporting)."""
         return evaluate_model(self.server.model, dataset)
 
-    def evaluate_clients(self, dataset: Dataset) -> List[float]:
+    def evaluate_clients(
+        self,
+        dataset: Dataset,
+        sample: Optional[int] = None,
+        sample_seed: int = 0,
+    ) -> List[float]:
         """Each client's accuracy on ``dataset`` using its *own* view.
 
         Standard clients all evaluate the same global model; CIP clients
         blend the evaluation inputs with their private perturbation, so this
         is the per-client accuracy the paper reports.
+
+        ``sample`` caps the evaluation cohort: at most that many clients
+        (drawn uniformly with ``sample_seed``, independent of the training
+        sampler so evaluation never perturbs replay) are materialized — one
+        at a time on virtual registries, so evaluating a 10^5-population
+        run never builds more than one throwaway client.  ``None``
+        evaluates the full population (the historical behavior).
         """
+        ids = self.registry.client_ids
+        if sample is not None:
+            if sample < 1:
+                raise ValueError("sample must be at least 1")
+            if sample < len(ids):
+                # A dedicated generator: drawing from the training sampler
+                # here would desynchronize checkpoint replay.
+                rng = np.random.default_rng(sample_seed)
+                picks = rng.choice(len(ids), size=sample, replace=False)
+                ids = [ids[i] for i in sorted(picks)]
         # One global-state fetch serves every client: receive_global copies
         # the arrays into the model, so sharing the dict is safe.
         state = self.server.global_state()
         accuracies = []
-        for client in self.clients:
+        for cid in ids:
+            client = self.registry.materialize_for_read(cid)
             client.receive_global(state)
             accuracies.append(client.evaluate(dataset).accuracy)
         return accuracies

@@ -569,18 +569,12 @@ class TestSamplingDeterminism:
             )
 
         sim_a, sim_b = build(42), build(42)
-        draws_a = [
-            [c.client_id for c in sim_a._select_participants()] for _ in range(8)
-        ]
-        draws_b = [
-            [c.client_id for c in sim_b._select_participants()] for _ in range(8)
-        ]
+        draws_a = [sim_a._select_participant_ids() for _ in range(8)]
+        draws_b = [sim_b._select_participant_ids() for _ in range(8)]
         assert draws_a == draws_b
         # Participants come back sorted by id (stable executor ordering).
         assert all(draw == sorted(draw) for draw in draws_a)
         # A different seed produces a different sequence.
         sim_c = build(43)
-        draws_c = [
-            [c.client_id for c in sim_c._select_participants()] for _ in range(8)
-        ]
+        draws_c = [sim_c._select_participant_ids() for _ in range(8)]
         assert draws_a != draws_c
